@@ -1,0 +1,273 @@
+// Package nucanet's root benchmarks regenerate, one testing.B target per
+// paper artifact, the measurements behind every table and figure of the
+// evaluation section. Custom metrics carry the experiment outputs
+// (cycles/access, IPC, mm2) alongside the usual ns/op:
+//
+//	go test -bench=. -benchmem
+//
+// Full-resolution sweeps (all 12 benchmarks) live in cmd/paperbench; the
+// benchmarks here run one representative workload per configuration so
+// the whole suite stays in CI-friendly time.
+package nucanet
+
+import (
+	"testing"
+
+	"nucanet/internal/area"
+	"nucanet/internal/cache"
+	"nucanet/internal/cmp"
+	"nucanet/internal/config"
+	"nucanet/internal/core"
+	"nucanet/internal/cpu"
+	"nucanet/internal/flit"
+	"nucanet/internal/network"
+	"nucanet/internal/router"
+	"nucanet/internal/routing"
+	"nucanet/internal/sim"
+	"nucanet/internal/topology"
+	"nucanet/internal/trace"
+)
+
+const benchAccesses = 2000
+
+func runOnce(b *testing.B, design string, p cache.Policy, m cache.Mode, bench string) core.Result {
+	b.Helper()
+	r, err := core.Run(core.Options{
+		DesignID: design, Policy: p, Mode: m,
+		Benchmark: bench, Accesses: benchAccesses, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFig7LatencySplit regenerates the Figure 7 measurement: the
+// bank/network/memory split of the unicast LRU baseline.
+func BenchmarkFig7LatencySplit(b *testing.B) {
+	var r core.Result
+	for i := 0; i < b.N; i++ {
+		r = runOnce(b, "A", cache.LRU, cache.Unicast, "gcc")
+	}
+	b.ReportMetric(100*r.BankShare, "bank%")
+	b.ReportMetric(100*r.NetworkShare, "network%")
+	b.ReportMetric(100*r.MemShare, "memory%")
+}
+
+// BenchmarkFig8 regenerates Figure 8: one sub-benchmark per replacement
+// scheme on Design A, reporting average access latency and IPC.
+func BenchmarkFig8(b *testing.B) {
+	for _, s := range core.Fig8Schemes() {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				r = runOnce(b, "A", s.Policy, s.Mode, "gcc")
+			}
+			b.ReportMetric(r.AvgLatency, "cycles/access")
+			b.ReportMetric(r.AvgHit, "cycles/hit")
+			b.ReportMetric(r.AvgMiss, "cycles/miss")
+			b.ReportMetric(r.AvgOccupancy, "cycles/occupancy")
+			b.ReportMetric(r.IPC, "IPC")
+		})
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9: one sub-benchmark per Table 3
+// design under multicast Fast-LRU.
+func BenchmarkFig9(b *testing.B) {
+	for _, d := range config.Designs() {
+		d := d
+		b.Run("design-"+d.ID, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				r = runOnce(b, d.ID, cache.FastLRU, cache.Multicast, "gcc")
+			}
+			b.ReportMetric(r.IPC, "IPC")
+			b.ReportMetric(r.AvgLatency, "cycles/access")
+		})
+	}
+}
+
+// BenchmarkTable4Area regenerates the Table 4 area model.
+func BenchmarkTable4Area(b *testing.B) {
+	var reps []area.Report
+	for i := 0; i < b.N; i++ {
+		reps = area.Table4(area.DefaultModel())
+	}
+	for _, r := range reps {
+		b.ReportMetric(r.L2MM2(), r.DesignID+"-L2-mm2")
+	}
+}
+
+// BenchmarkTable2Generator measures the Table 2 synthetic workload
+// generator's throughput (accesses generated per op).
+func BenchmarkTable2Generator(b *testing.B) {
+	p, err := trace.ProfileByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := trace.NewSynthetic(p, trace.AddrMap{Columns: 16, Sets: 1024}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+// BenchmarkRouterHop measures raw single-cycle router throughput: packets
+// crossing a 16x16 mesh column under XY routing.
+func BenchmarkRouterHop(b *testing.B) {
+	topo := topology.NewMesh(topology.MeshSpec{W: 16, H: 16, CoreX: 7, MemX: 8})
+	k := sim.NewKernel()
+	net := network.New(k, topo, routing.XY{}, router.DefaultConfig())
+	sink := nullEndpoint{}
+	for id := 0; id < topo.NumNodes(); id++ {
+		net.Attach(id, flit.ToBank, sink)
+	}
+	dst := topo.NodeAt(7, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(&flit.Packet{Kind: flit.ReadReq, Src: topo.Core, Dst: dst, DstEp: flit.ToBank}, k.Now())
+		k.Run(64)
+	}
+	st := net.Stats()
+	b.ReportMetric(float64(st.Router.FlitsRouted)/float64(b.N), "flit-hops/pkt")
+}
+
+// BenchmarkMulticastColumn measures the multicast router delivering one
+// request to all 16 banks of a column (replication included).
+func BenchmarkMulticastColumn(b *testing.B) {
+	topo := topology.NewMesh(topology.MeshSpec{W: 16, H: 16, CoreX: 7, MemX: 8})
+	k := sim.NewKernel()
+	net := network.New(k, topo, routing.XY{}, router.DefaultConfig())
+	sink := nullEndpoint{}
+	for id := 0; id < topo.NumNodes(); id++ {
+		net.Attach(id, flit.ToBank, sink)
+	}
+	dst := topo.NodeAt(3, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &flit.Packet{Kind: flit.ReadReq, Src: topo.Core, Dst: dst, DstEp: flit.ToBank, PathDeliver: true}
+		net.Send(p, k.Now())
+		k.Run(64)
+	}
+}
+
+// BenchmarkCacheHitOp measures one full multicast Fast-LRU hit operation
+// end to end on Design A (request, probes, data return, replacement).
+func BenchmarkCacheHitOp(b *testing.B) {
+	d, err := config.DesignByID("A")
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sim.NewKernel()
+	sys := cache.New(k, d, cache.FastLRU, cache.Multicast)
+	p, _ := trace.ProfileByName("art")
+	gen := trace.NewSynthetic(p, sys.AM, 1)
+	sys.Warm(gen.WarmBlocks(d.Ways()))
+	accs := trace.Take(gen, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := accs[i%len(accs)]
+		sys.Issue(a.Addr, a.Write, nil)
+		if err := sys.Drain(1 << 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sys.Lat.Avg(), "cycles/access")
+}
+
+// BenchmarkCMP scales the shared cache from 1 to 8 cores (the paper's
+// future-work experiment), reporting aggregate throughput.
+func BenchmarkCMP(b *testing.B) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		cores := cores
+		b.Run(fmtCores(cores), func(b *testing.B) {
+			var res cmp.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = cmp.Run(cmp.Options{
+					DesignID: "A", Policy: cache.FastLRU, Mode: cache.Multicast,
+					Cores: cores, Benchmark: "gcc", Accesses: 1000, Seed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ThroughputIPC, "throughput-IPC")
+			b.ReportMetric(100*res.CacheHitRate, "hit%")
+		})
+	}
+}
+
+func fmtCores(n int) string {
+	return string(rune('0'+n)) + "-cores"
+}
+
+// BenchmarkAblationRouterStages contrasts the paper's single-cycle router
+// with a conventional 3-stage pipelined router on Design A.
+func BenchmarkAblationRouterStages(b *testing.B) {
+	for _, stages := range []int{1, 3} {
+		stages := stages
+		b.Run(fmtCores(stages)[:1]+"-stage", func(b *testing.B) {
+			d, err := config.DesignByID("A")
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Router.Stages = stages
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				k := sim.NewKernel()
+				sys := cache.New(k, d, cache.FastLRU, cache.Multicast)
+				p, _ := trace.ProfileByName("gcc")
+				gen := trace.NewSynthetic(p, sys.AM, 3)
+				sys.Warm(gen.WarmBlocks(d.Ways()))
+				c := cpuNew(k, sys, p, trace.Take(gen, 1500))
+				if _, err := c.Run(1 << 40); err != nil {
+					b.Fatal(err)
+				}
+				avg = sys.Lat.Avg()
+			}
+			b.ReportMetric(avg, "cycles/access")
+		})
+	}
+}
+
+// BenchmarkAblationEnergy reports the energy split of mesh vs halo — the
+// extension analysis (the paper's stated future work).
+func BenchmarkAblationEnergy(b *testing.B) {
+	for _, id := range []string{"A", "F"} {
+		id := id
+		b.Run("design-"+id, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				r = runOnce(b, id, cache.FastLRU, cache.Multicast, "gcc")
+			}
+			b.ReportMetric(r.Energy.PerAccessNJ(), "nJ/access")
+			b.ReportMetric(100*r.Energy.NetworkShare(), "network-energy%")
+		})
+	}
+}
+
+func cpuNew(k *sim.Kernel, sys *cache.System, p trace.Profile, accs []trace.Access) *cpu.Core {
+	return cpu.New(k, sys, p, accs, cpu.DefaultConfig())
+}
+
+// BenchmarkKernelTick measures the simulation kernel's raw tick rate.
+func BenchmarkKernelTick(b *testing.B) {
+	k := sim.NewKernel()
+	id := k.Register(spinComp{})
+	k.Activate(id)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+type spinComp struct{}
+
+func (spinComp) Tick(now int64) bool { return true }
+
+type nullEndpoint struct{}
+
+func (nullEndpoint) Deliver(*flit.Packet, int64) {}

@@ -1,0 +1,73 @@
+// Command nucasim runs one networked-cache simulation and prints its
+// measurements: IPC, latency statistics, the bank/network/memory split,
+// and traffic counters.
+//
+// Usage:
+//
+//	nucasim -design A -policy fastlru -mode multicast -bench gcc -n 8000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/core"
+	"nucanet/internal/cpu"
+	"nucanet/internal/trace"
+)
+
+func main() {
+	var (
+		design   = flag.String("design", "A", "network design (A-F, Table 3)")
+		policy   = flag.String("policy", "fastlru", "replacement policy: promotion, lru, fastlru")
+		mode     = flag.String("mode", "multicast", "request mode: unicast, multicast")
+		bench    = flag.String("bench", "gcc", "benchmark profile (Table 2) or 'all'")
+		n        = flag.Int("n", 8000, "measured L2 accesses")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		window   = flag.Int("window", 8, "CPU outstanding-access window (MSHRs)")
+		blocking = flag.Float64("blocking", 0.35, "fraction of reads that stall the core")
+	)
+	flag.Parse()
+
+	p, err := cache.ParsePolicy(*policy)
+	fatal(err)
+	m, err := cache.ParseMode(*mode)
+	fatal(err)
+
+	benches := []string{*bench}
+	if *bench == "all" {
+		benches = trace.Names()
+	}
+	for _, b := range benches {
+		r, err := core.Run(core.Options{
+			DesignID: *design, Policy: p, Mode: m,
+			Benchmark: b, Accesses: *n, Seed: *seed,
+			CPU: cpu.Config{Window: *window, BlockingProb: *blocking},
+		})
+		fatal(err)
+		fmt.Printf("design %s  %s+%s  %s  (%d accesses, seed %d)\n",
+			*design, m, p, b, *n, *seed)
+		fmt.Printf("  IPC            %.4f (perfect-L2 %.2f)\n", r.IPC, r.PerfectIPC)
+		fmt.Printf("  avg latency    %.1f cycles (hit %.1f, miss %.1f)\n",
+			r.AvgLatency, r.AvgHit, r.AvgMiss)
+		fmt.Printf("  hit rate       %.1f%% (%.1f%% of hits at the MRU bank)\n",
+			100*r.HitRate, 100*r.MRUHitShare)
+		fmt.Printf("  latency split  bank %.1f%% / network %.1f%% / memory %.1f%%\n",
+			100*r.BankShare, 100*r.NetworkShare, 100*r.MemShare)
+		fmt.Printf("  traffic        %d packets, %d flits, %d replicas (%d blocked cycles)\n",
+			r.Network.PacketsInjected, r.Network.FlitsInjected,
+			r.Network.Router.ReplicasSpawned, r.Network.Router.ReplicaBlocked)
+		fmt.Printf("  memory         %d reads, %d writebacks\n",
+			r.Memory.Reads, r.Memory.WriteBacks)
+		fmt.Printf("  bank accesses  %d\n", r.BankAccesses)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nucasim:", err)
+		os.Exit(1)
+	}
+}

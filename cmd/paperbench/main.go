@@ -1,0 +1,268 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section (Section 5-6) and prints the same rows/series.
+//
+// Usage:
+//
+//	paperbench -exp all          # everything (several minutes)
+//	paperbench -exp f9 -n 4000   # one experiment, smaller runs
+//
+// Experiments: t1 t2 t3 t4 f7 f8 f9 headline all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nucanet/internal/bank"
+	"nucanet/internal/config"
+	"nucanet/internal/core"
+	"nucanet/internal/mem"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment: t1 t2 t3 t4 f7 f8 f9 headline all")
+		n    = flag.Int("n", 8000, "measured L2 accesses per run")
+		seed = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	cfg := core.ExpConfig{Accesses: *n, Seed: *seed}
+
+	run := map[string]func(core.ExpConfig){
+		"t1": func(core.ExpConfig) { table1() },
+		"t2": func(c core.ExpConfig) { table2(c) },
+		"t3": func(core.ExpConfig) { table3() },
+		"t4": func(core.ExpConfig) { table4() },
+		"f7": fig7, "f8": fig8, "f9": fig9,
+		"headline": headline,
+		"energy":   energyExp,
+		"power":    powerExp,
+	}
+	order := []string{"t1", "t2", "t3", "t4", "f7", "f8", "f9", "headline", "energy", "power"}
+
+	if *exp == "all" {
+		for _, e := range order {
+			run[e](cfg)
+		}
+		return
+	}
+	f, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (want %s or all)\n",
+			*exp, strings.Join(order, " "))
+		os.Exit(1)
+	}
+	f(cfg)
+}
+
+func header(s string) {
+	fmt.Printf("\n=== %s ===\n", s)
+}
+
+func table1() {
+	header("Table 1: system parameters")
+	fmt.Println("memory: block 64B; latency 130 cycles + 4 cycles per 8B (pipelined)")
+	fmt.Println("router: 4-flit buffers, 4 VCs per PC, 128-bit flits, 1 cycle per stage")
+	fmt.Println("bank size    wire delay   tag only   tag+replacement")
+	for _, kb := range []int{64, 128, 256, 512} {
+		l := bank.LatencyFor(kb)
+		fmt.Printf("  %4d KB     %d cycle(s)   %d cycles   %d cycles\n",
+			kb, l.Wire, l.TagOnly, l.TagRepl)
+	}
+	c := mem.DefaultConfig()
+	fmt.Printf("derived: 64B block read = %d cycles at the pins\n", c.ReadLatency())
+}
+
+func table2(cfg core.ExpConfig) {
+	header("Table 2: benchmarks (profile vs generator self-check)")
+	fmt.Println("name     instr   perfIPC  reads(M) writes(M)  acc/instr | gen acc/instr  gen wr%   gen hit% (16-way LRU)")
+	for _, row := range core.Table2Check(40000, cfg.Seed) {
+		p := row.Profile
+		fmt.Printf("%-8s %5.2gB  %5.2f   %8.3f %8.3f   %8.3f | %12.4f  %6.1f%%  %6.1f%%\n",
+			p.Name, float64(p.InstrTotal)/1e9, p.PerfectIPC, p.ReadsM, p.WritesM,
+			p.AccPerInstr, row.GenAccPerInst, 100*row.GenWriteFrac, 100*row.GenHitRate16)
+	}
+}
+
+func table3() {
+	header("Table 3: network designs")
+	for _, d := range config.Designs() {
+		fmt.Printf("  %s: %-55s banks/column: %v\n", d.ID, d.Description, d.Banks)
+	}
+}
+
+func table4() {
+	header("Table 4: area analysis (cacti-lite model)")
+	fmt.Println("design   bank%   router%   link%     L2 mm2    chip mm2")
+	for _, r := range core.Table4() {
+		fmt.Printf("  %s     %5.1f     %5.1f   %5.1f   %8.2f   %9.2f\n",
+			r.DesignID, r.BankPct(), r.RouterPct(), r.LinkPct(), r.L2MM2(), r.ChipMM2)
+	}
+	fmt.Println("paper:  A 47.8/20.8/31.4 567.70/567.70 | B 58.4/13.0/28.6 464.60/521.99")
+	fmt.Println("        E 67.5/14.1/18.4 402.30/1602.22 | F 78.7/5.7/15.7 312.19/517.61")
+}
+
+func fig7(cfg core.ExpConfig) {
+	header("Figure 7: L2 access latency split, unicast LRU, Design A")
+	t0 := time.Now()
+	rows, err := core.Fig7(cfg)
+	fatal(err)
+	fmt.Println("benchmark   bank%   network%   memory%")
+	var b, nw, m float64
+	for _, r := range rows {
+		fmt.Printf("  %-9s %5.1f      %5.1f     %5.1f\n", r.Benchmark, r.BankPct, r.NetPct, r.MemPct)
+		b += r.BankPct
+		nw += r.NetPct
+		m += r.MemPct
+	}
+	k := float64(len(rows))
+	fmt.Printf("  %-9s %5.1f      %5.1f     %5.1f   (paper avg: 25 / 65 / 10)  [%.0fs]\n",
+		"avg", b/k, nw/k, m/k, time.Since(t0).Seconds())
+}
+
+func fig8(cfg core.ExpConfig) {
+	header("Figure 8: access latency by scheme, Design A")
+	t0 := time.Now()
+	cells, err := core.Fig8(cfg)
+	fatal(err)
+	fmt.Println("(a) average / (b) hit / (c) miss latency in cycles; IPC")
+	fmt.Printf("%-9s", "benchmark")
+	for _, s := range core.Fig8Schemes() {
+		fmt.Printf(" | %-19s", s.Name)
+	}
+	fmt.Println()
+	byBench := map[string][]core.Fig8Cell{}
+	var names []string
+	for _, c := range cells {
+		if len(byBench[c.Benchmark]) == 0 {
+			names = append(names, c.Benchmark)
+		}
+		byBench[c.Benchmark] = append(byBench[c.Benchmark], c)
+	}
+	for _, b := range names {
+		fmt.Printf("%-9s", b)
+		for _, c := range byBench[b] {
+			fmt.Printf(" | %5.1f %5.1f %6.1f", c.AvgLat, c.HitLat, c.MissLat)
+		}
+		fmt.Println()
+	}
+	// Summary ratios the paper quotes. Two readings: the CPU-visible
+	// access latency (request -> data) and the column occupancy
+	// (request -> replacement complete); the paper's hop-count examples
+	// (Fig. 2: 21 vs 12 hops) count the full occupancy, which is where
+	// Fast-LRU's structural win lives at any load level.
+	avgOf := func(scheme string, occ bool) float64 {
+		var s float64
+		for _, cs := range byBench {
+			for _, c := range cs {
+				if c.Scheme == scheme {
+					if occ {
+						s += c.OccLat
+					} else {
+						s += c.AvgLat
+					}
+				}
+			}
+		}
+		return s / float64(len(byBench))
+	}
+	uLRU, uFast := avgOf("unicast+LRU", false), avgOf("unicast+fastLRU", false)
+	mPromo, mFast := avgOf("multicast+promotion", false), avgOf("multicast+fastLRU", false)
+	uLRUo, uFasto := avgOf("unicast+LRU", true), avgOf("unicast+fastLRU", true)
+	mFasto := avgOf("multicast+fastLRU", true)
+	fmt.Printf("\naccess latency (request->data):\n")
+	fmt.Printf("  multicast fastLRU vs unicast LRU:       %+.1f%%\n", 100*(mFast-uLRU)/uLRU)
+	fmt.Printf("  multicast fastLRU vs multicast promo:   %+.1f%%\n", 100*(mFast-mPromo)/mPromo)
+	fmt.Printf("  unicast fastLRU vs unicast LRU:         %+.1f%%\n", 100*(uFast-uLRU)/uLRU)
+	fmt.Printf("column occupancy (request->replacement done; the paper's hop metric):\n")
+	fmt.Printf("  multicast fastLRU vs unicast LRU:       %+.1f%% (paper -46%%)\n", 100*(mFasto-uLRUo)/uLRUo)
+	fmt.Printf("  unicast fastLRU vs unicast LRU:         %+.1f%% (paper -30%%)  [%.0fs]\n",
+		100*(uFasto-uLRUo)/uLRUo, time.Since(t0).Seconds())
+}
+
+func fig9(cfg core.ExpConfig) {
+	header("Figure 9: normalized IPC by design, multicast Fast-LRU")
+	t0 := time.Now()
+	cells, err := core.Fig9(cfg)
+	fatal(err)
+	fmt.Printf("%-9s", "benchmark")
+	for _, d := range config.Designs() {
+		fmt.Printf("   %s  ", d.ID)
+	}
+	fmt.Println()
+	sums := map[string]float64{}
+	count := 0
+	var cur string
+	for _, c := range cells {
+		if c.Benchmark != cur {
+			if cur != "" {
+				fmt.Println()
+			}
+			fmt.Printf("%-9s", c.Benchmark)
+			cur = c.Benchmark
+			count++
+		}
+		fmt.Printf(" %5.3f", c.NormalizedIPC)
+		sums[c.DesignID] += c.NormalizedIPC
+	}
+	fmt.Println()
+	fmt.Printf("%-9s", "avg")
+	for _, d := range config.Designs() {
+		fmt.Printf(" %5.3f", sums[d.ID]/float64(count))
+	}
+	fmt.Printf("\n(paper avgs: A 1.00, B ~1.00, C 0.86, D 0.88, E 1.12, F 1.13)  [%.0fs]\n",
+		time.Since(t0).Seconds())
+}
+
+func headline(cfg core.ExpConfig) {
+	header("Headline claims (abstract)")
+	t0 := time.Now()
+	h, err := core.ComputeHeadline(cfg)
+	fatal(err)
+	fmt.Printf("halo+fastLRU IPC vs mesh+multicast-promotion: %+.1f%%  (paper +38%%)\n",
+		100*(h.IPCGainVsMeshPromotion-1))
+	fmt.Printf("multicast fastLRU IPC vs multicast promotion: %+.1f%%  (paper +20%%)\n",
+		100*(h.FastLRUIPCGain-1))
+	fmt.Printf("halo (F) IPC vs mesh (A), same policy:        %+.1f%%  (paper +18%%/+13%%)\n",
+		100*(h.HaloIPCGain-1))
+	fmt.Printf("interconnect area, F as a share of A:          %.1f%%  (paper 23%%)  [%.0fs]\n",
+		100*h.InterconnectAreaRatio, time.Since(t0).Seconds())
+}
+
+func energyExp(cfg core.ExpConfig) {
+	header("Energy comparison (extension: the paper's stated future work)")
+	t0 := time.Now()
+	cells, err := core.EnergyComparison(cfg, "gcc")
+	fatal(err)
+	fmt.Println("design    nJ/access   network%   banks%   memory%     IPC   (gcc, multicast Fast-LRU)")
+	for _, c := range cells {
+		r := c.Report
+		fmt.Printf("  %s       %7.2f      %5.1f    %5.1f     %5.1f   %5.3f\n",
+			c.DesignID, r.PerAccessNJ(), 100*r.NetworkShare(),
+			100*r.BankPJ/r.TotalPJ(), 100*r.MemoryPJ/r.TotalPJ(), c.IPC)
+	}
+	fmt.Printf("[%.0fs]\n", time.Since(t0).Seconds())
+}
+
+func powerExp(cfg core.ExpConfig) {
+	header("Power-gating sweep (extension: the paper's on-demand power control)")
+	t0 := time.Now()
+	cells, err := core.PowerGatingSweep(cfg, "gcc")
+	fatal(err)
+	fmt.Println("ways on   capacity   hit rate     IPC   nJ/access   (gcc, Design A columns gated from the far end)")
+	for _, c := range cells {
+		fmt.Printf("   %2d      %5d KB    %5.1f%%   %5.3f     %7.2f\n",
+			c.WaysOn, c.CapacityKB, 100*c.HitRate, c.IPC, c.Energy.PerAccessNJ())
+	}
+	fmt.Printf("[%.0fs]\n", time.Since(t0).Seconds())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}

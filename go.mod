@@ -1,0 +1,3 @@
+module nucanet
+
+go 1.23

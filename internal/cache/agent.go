@@ -1,0 +1,437 @@
+package cache
+
+import (
+	"fmt"
+
+	"nucanet/internal/bank"
+	"nucanet/internal/flit"
+	"nucanet/internal/mem"
+	"nucanet/internal/topology"
+)
+
+// agent is the protocol engine of one cache bank. It receives protocol
+// packets at its router, performs bank accesses (serialized through
+// busyUntil), mutates the bank, and emits follow-on packets when the
+// access completes.
+type agent struct {
+	sys  *System
+	node topology.NodeID
+	col  int
+	pos  int // position within the column, 0 = MRU bank
+	last int // position of the LRU bank
+	bk   *bank.Bank
+
+	busyUntil int64
+	sched     scheduler
+	stash     []*flit.Packet // replacement traffic awaiting this bank's probe
+
+	// Accesses counts bank accesses performed (Fast-LRU roughly halves
+	// this versus classic LRU — a paper claim worth measuring).
+	Accesses uint64
+}
+
+// access books one bank access of the given duration and returns its
+// completion time.
+func (a *agent) access(now int64, dur int) int64 {
+	start := now
+	if start < a.busyUntil {
+		start = a.busyUntil
+	}
+	a.busyUntil = start + int64(dur)
+	a.Accesses++
+	return a.busyUntil
+}
+
+func (a *agent) full(set int) bool {
+	return a.bk.Occupancy(set) >= a.bk.Ways()
+}
+
+// send schedules a packet injection at cycle t.
+func (a *agent) send(t int64, kind flit.Kind, dst topology.NodeID, ep flit.Endpoint, addr uint64, payload any) {
+	a.sched.at(t, func(now int64) {
+		a.sys.Net.Send(&flit.Packet{
+			Kind: kind, Src: a.node, Dst: dst, DstEp: ep, Addr: addr, Payload: payload,
+		}, now)
+	})
+}
+
+// dataKind returns the packet kind answering the core: block data for
+// reads, a one-flit acknowledgment for writes.
+func dataKind(o *op, fromHit bool) flit.Kind {
+	if o.req.Write {
+		return flit.WriteDone
+	}
+	if fromHit {
+		return flit.HitData
+	}
+	return flit.DataToCore
+}
+
+// Deliver dispatches one protocol packet. Under multicast, replacement and
+// store messages for an operation are stashed until this bank's tag-match
+// probe for that operation has run: the probe travels as a router replica
+// that can queue at a congested ejection port, so unlike the paper's
+// single downward path, arrival order is not inherently guaranteed here.
+func (a *agent) Deliver(pkt *flit.Packet, now int64) {
+	if o := opOf(pkt.Payload); o != nil && o.probed != nil && !o.probed[a.pos] {
+		switch pkt.Kind {
+		case flit.ReplaceBlock, flit.BlockToMRU, flit.MemBlock:
+			a.stash = append(a.stash, pkt)
+			return
+		}
+	}
+	a.dispatch(pkt, now)
+}
+
+func opOf(payload any) *op {
+	switch p := payload.(type) {
+	case *op:
+		return p
+	case *blockMsg:
+		return p.op
+	}
+	return nil
+}
+
+func (a *agent) dispatch(pkt *flit.Packet, now int64) {
+	switch pkt.Kind {
+	case flit.ReadReq, flit.WriteData:
+		a.probe(pkt.Payload.(*op), now)
+	case flit.ReplaceBlock:
+		m := pkt.Payload.(*blockMsg)
+		switch {
+		case m.withReq:
+			a.combined(m, now)
+		case m.promoUp:
+			a.promoUp(m, now)
+		case m.promoDown:
+			a.promoDown(m, now)
+		default:
+			a.chain(m, now)
+		}
+	case flit.BlockToMRU:
+		a.storeMRU(pkt.Payload.(*blockMsg), now)
+	case flit.MemBlock:
+		a.fill(pkt.Payload.(*op), now)
+	default:
+		panic(fmt.Sprintf("cache: bank %d/%d got unexpected %v", a.col, a.pos, pkt))
+	}
+}
+
+// markProbed records this bank's probe and replays any stashed messages
+// that were waiting for it.
+func (a *agent) markProbed(o *op, now int64) {
+	if o.probed == nil {
+		return
+	}
+	o.probed[a.pos] = true
+	if len(a.stash) == 0 {
+		return
+	}
+	pending := a.stash
+	a.stash = a.stash[:0]
+	for _, pkt := range pending {
+		if po := opOf(pkt.Payload); po == o {
+			a.dispatch(pkt, now)
+		} else {
+			a.stash = append(a.stash, pkt)
+		}
+	}
+}
+
+// probe handles a tag-match request: the unicast first hop (always bank 0
+// for Fast-LRU; any bank for LRU/Promotion) or a multicast delivery.
+func (a *agent) probe(o *op, now int64) {
+	defer a.markProbed(o, now)
+	lat := a.bk.Latency()
+	way, hit := a.bk.Lookup(o.set, o.tag)
+	if hit {
+		fin := a.access(now, lat.TagRepl) // tag match + data read
+		o.bankCycles += int64(lat.TagRepl)
+		o.hitPos = a.pos
+		o.req.Hit = true
+		o.req.HitBank = a.pos
+		if a.pos == 0 {
+			a.bk.Touch(o.set, way)
+			if o.req.Write {
+				a.bk.SetDirty(o.set, 0)
+			}
+			a.send(fin, dataKind(o, true), o.ctrl, flit.ToCore, o.req.Addr, o)
+			return
+		}
+		blk := a.bk.Remove(o.set, way)
+		if o.req.Write {
+			blk.Dirty = true
+		}
+		a.send(fin, dataKind(o, true), o.ctrl, flit.ToCore, o.req.Addr, o)
+		switch a.sys.Policy {
+		case LRU, FastLRU:
+			if a.sys.Policy == FastLRU && a.sys.Mode == Multicast {
+				// Two chain drains must complete: the hit block landing
+				// at the MRU bank, and the push chain terminating here.
+				o.chainNeeded = 2
+			}
+			a.send(fin, flit.BlockToMRU, a.sys.bankNode(a.col, 0), flit.ToBank,
+				o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true})
+		case Promotion:
+			a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, a.pos-1), flit.ToBank,
+				o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true, promoUp: true})
+		}
+		return
+	}
+
+	// Miss at this bank.
+	if a.sys.Mode == Multicast {
+		fin := a.access(now, lat.TagOnly)
+		if a.pos == a.last && o.hitPos < 0 {
+			// The farthest bank's probe closes the miss decision; when a
+			// closer bank already hit, this probe is off the critical path.
+			o.bankCycles += int64(lat.TagOnly)
+		}
+		a.send(fin, flit.MissNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+		if a.sys.Policy == FastLRU && a.pos == 0 {
+			a.startFastChain(o, fin)
+		}
+		return
+	}
+
+	// Unicast.
+	if a.sys.Policy == FastLRU {
+		// Only the MRU bank sees a bare request under unicast Fast-LRU;
+		// the combined request+block unit travels on from here.
+		fin := a.access(now, lat.TagRepl)
+		o.bankCycles += int64(lat.TagRepl)
+		a.forwardFastUnit(o, fin)
+		return
+	}
+	fin := a.access(now, lat.TagOnly)
+	o.bankCycles += int64(lat.TagOnly)
+	if a.pos < a.last {
+		kind := flit.ReadReq
+		if o.req.Write {
+			kind = flit.WriteData
+		}
+		a.send(fin, kind, a.sys.bankNode(a.col, a.pos+1), flit.ToBank, o.req.Addr, o)
+		return
+	}
+	a.requestMemory(o, fin)
+}
+
+// startFastChain initiates the Fast-LRU replacement chain at the MRU bank
+// after a multicast miss there.
+func (a *agent) startFastChain(o *op, fin int64) {
+	if !a.full(o.set) {
+		// Nothing to push; the chain is trivially complete and the
+		// frame for the eventual fill already exists.
+		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+		return
+	}
+	blk, _ := a.bk.EvictLRU(o.set)
+	if a.last == 0 {
+		// Single-bank column: the victim leaves the cache.
+		if blk.Dirty {
+			a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
+		}
+		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+		return
+	}
+	a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, 1), flit.ToBank,
+		o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true})
+}
+
+// forwardFastUnit evicts (if full) and forwards the unicast Fast-LRU
+// request+block unit, or terminates at the LRU bank with a memory access.
+func (a *agent) forwardFastUnit(o *op, fin int64) {
+	out := &blockMsg{op: o, withReq: true}
+	if a.full(o.set) {
+		blk, _ := a.bk.EvictLRU(o.set)
+		out.blk = blk
+		out.hasBlock = true
+	}
+	if a.pos < a.last {
+		a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, a.pos+1), flit.ToBank, o.req.Addr, out)
+		return
+	}
+	// LRU bank: replacement is complete; the victim leaves the cache.
+	if out.hasBlock && out.blk.Dirty {
+		a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
+	}
+	a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+	a.requestMemory(o, fin)
+}
+
+// combined handles the unicast Fast-LRU request+block unit at banks > 0:
+// one access tag-matches, stores the incoming block, and evicts onward.
+func (a *agent) combined(m *blockMsg, now int64) {
+	o := m.op
+	lat := a.bk.Latency()
+	fin := a.access(now, lat.TagRepl)
+	o.bankCycles += int64(lat.TagRepl)
+
+	way, hit := a.bk.Lookup(o.set, o.tag)
+	if hit {
+		blk := a.bk.Remove(o.set, way)
+		if o.req.Write {
+			blk.Dirty = true
+		}
+		if m.hasBlock {
+			a.bk.Insert(o.set, m.blk)
+		}
+		o.hitPos = a.pos
+		o.req.Hit = true
+		o.req.HitBank = a.pos
+		a.send(fin, dataKind(o, true), o.ctrl, flit.ToCore, o.req.Addr, o)
+		a.send(fin, flit.BlockToMRU, a.sys.bankNode(a.col, 0), flit.ToBank,
+			o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true})
+		return
+	}
+	out := &blockMsg{op: o, withReq: true}
+	if a.full(o.set) {
+		blk, _ := a.bk.EvictLRU(o.set)
+		out.blk = blk
+		out.hasBlock = true
+	}
+	if m.hasBlock {
+		a.bk.Insert(o.set, m.blk)
+	}
+	if a.pos < a.last {
+		a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, a.pos+1), flit.ToBank, o.req.Addr, out)
+		return
+	}
+	if out.hasBlock && out.blk.Dirty {
+		a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
+	}
+	a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+	a.requestMemory(o, fin)
+}
+
+// chain handles a plain replacement-chain block: the multicast Fast-LRU
+// push, the classic-LRU shift after a hit, and the miss-fill shift.
+func (a *agent) chain(m *blockMsg, now int64) {
+	o := m.op
+	lat := a.bk.Latency()
+	fin := a.access(now, lat.TagRepl)
+
+	if o.hitPos == a.pos {
+		// The hit bank's hole terminates the chain.
+		a.bk.Insert(o.set, m.blk)
+		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+		return
+	}
+	if !a.full(o.set) {
+		// A non-full bank absorbs the chain (cold sets only).
+		a.bk.Insert(o.set, m.blk)
+		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+		return
+	}
+	victim, _ := a.bk.EvictLRU(o.set)
+	a.bk.Insert(o.set, m.blk)
+	if a.pos == a.last {
+		if victim.Dirty {
+			a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
+		}
+		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+		return
+	}
+	a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, a.pos+1), flit.ToBank,
+		o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true})
+}
+
+// promoUp handles the Promotion hit block arriving one bank closer.
+func (a *agent) promoUp(m *blockMsg, now int64) {
+	o := m.op
+	lat := a.bk.Latency()
+	fin := a.access(now, lat.TagRepl)
+	if !a.full(o.set) {
+		a.bk.Insert(o.set, m.blk)
+		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+		return
+	}
+	victim, _ := a.bk.EvictLRU(o.set)
+	a.bk.Insert(o.set, m.blk)
+	a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, a.pos+1), flit.ToBank,
+		o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true, promoDown: true})
+}
+
+// promoDown stores the displaced block back into the hit bank's hole.
+func (a *agent) promoDown(m *blockMsg, now int64) {
+	o := m.op
+	lat := a.bk.Latency()
+	fin := a.access(now, lat.TagRepl)
+	a.bk.Insert(o.set, m.blk)
+	a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+}
+
+// storeMRU stores the hit block arriving at the MRU bank.
+func (a *agent) storeMRU(m *blockMsg, now int64) {
+	o := m.op
+	lat := a.bk.Latency()
+	fin := a.access(now, lat.TagRepl)
+	switch a.sys.Policy {
+	case FastLRU:
+		// The frame was freed by the probe's eviction (or was free).
+		a.bk.Insert(o.set, m.blk)
+		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+	case LRU:
+		if !a.full(o.set) {
+			a.bk.Insert(o.set, m.blk)
+			a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+			return
+		}
+		victim, _ := a.bk.EvictLRU(o.set)
+		a.bk.Insert(o.set, m.blk)
+		if a.last == 0 {
+			if victim.Dirty {
+				a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
+			}
+			a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+			return
+		}
+		a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, 1), flit.ToBank,
+			o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true})
+	default:
+		panic("cache: BlockToMRU under promotion")
+	}
+}
+
+// fill stores the block returning from memory into the MRU bank and
+// forwards the data to the core.
+func (a *agent) fill(o *op, now int64) {
+	lat := a.bk.Latency()
+	fin := a.access(now, lat.TagRepl)
+	o.bankCycles += int64(lat.TagRepl)
+	blk := bank.Block{Tag: o.tag, Dirty: o.req.Write}
+	switch a.sys.Policy {
+	case FastLRU:
+		// The probe's eviction chain already made room everywhere.
+		a.bk.Insert(o.set, blk)
+	case LRU, Promotion:
+		if a.full(o.set) {
+			victim, _ := a.bk.EvictLRU(o.set)
+			a.bk.Insert(o.set, blk)
+			if a.last == 0 {
+				if victim.Dirty {
+					a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
+				}
+				a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+			} else {
+				a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, 1), flit.ToBank,
+					o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true})
+			}
+		} else {
+			a.bk.Insert(o.set, blk)
+			a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
+		}
+	}
+	a.send(fin, dataKind(o, false), o.ctrl, flit.ToCore, o.req.Addr, o)
+}
+
+// requestMemory asks the off-chip memory for the block, directing the
+// reply to the column's MRU bank.
+func (a *agent) requestMemory(o *op, fin int64) {
+	a.send(fin, flit.MemReadReq, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, mem.ReadReq{
+		ReplyTo: a.sys.bankNode(o.col, 0),
+		ReplyEp: flit.ToBank,
+		Cookie:  o,
+	})
+}

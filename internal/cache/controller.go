@@ -1,0 +1,210 @@
+package cache
+
+import (
+	"fmt"
+
+	"nucanet/internal/flit"
+	"nucanet/internal/mem"
+	"nucanet/internal/stats"
+)
+
+// Controller is the cache controller at the core: it accepts CPU requests,
+// serializes operations per bank-set column, launches the tag-match
+// (unicast probe or multicast), invokes memory after a full multicast
+// miss, and tracks completion (data at core + replacement chain drained).
+type Controller struct {
+	sys   *System
+	sched scheduler
+	cols  []colState
+
+	// Node is the router this controller attaches to (the topology's
+	// core router for single-core systems; CMP systems place several
+	// controllers at different routers).
+	Node int
+
+	// Issued counts accepted requests; QueueWait accumulates cycles
+	// requests waited for their column to free up.
+	Issued    uint64
+	QueueWait int64
+}
+
+// ColumnWindow is how many operations may be in flight per bank-set
+// column: the paper's controller keeps a small (2-entry) issue queue per
+// spike so requests to different sets of one column pipeline. Operations
+// on the same set always serialize (replacement chains are stateful).
+const ColumnWindow = 2
+
+type colState struct {
+	q      []*Request
+	active []*op
+}
+
+func newController(sys *System) *Controller {
+	return NewControllerAt(sys, sys.Topo.Core)
+}
+
+// NewControllerAt creates an additional controller attached at a given
+// router — the CMP building block. The caller attaches it to the network
+// and routes requests to it (each column must be owned by exactly one
+// controller; column state is controller-local).
+func NewControllerAt(sys *System, node int) *Controller {
+	c := &Controller{sys: sys, Node: node, cols: make([]colState, sys.Topo.Columns())}
+	c.sched.register(sys.K)
+	return c
+}
+
+// Issue accepts one CPU request. The request's Done callback (if any)
+// fires when the data or write acknowledgment reaches the core.
+func (c *Controller) Issue(r *Request, now int64) {
+	r.Issued = now
+	r.HitBank = -1
+	c.Issued++
+	col := c.sys.AM.ColumnOf(r.Addr)
+	cs := &c.cols[col]
+	cs.q = append(cs.q, r)
+	c.dispatch(col, now)
+}
+
+// dispatch starts queued requests of a column while the column window has
+// room and the head of the queue does not conflict on its set with an
+// in-flight operation. Requests to one column stay FIFO.
+func (c *Controller) dispatch(col int, now int64) {
+	cs := &c.cols[col]
+	for len(cs.active) < ColumnWindow && len(cs.q) > 0 {
+		r := cs.q[0]
+		set := c.sys.AM.SetOf(r.Addr)
+		conflict := false
+		for _, a := range cs.active {
+			if a.set == set {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			return
+		}
+		cs.q = cs.q[1:]
+		c.QueueWait += now - r.Issued
+		o := &op{
+			req: r, col: col,
+			set:         set,
+			tag:         c.sys.AM.TagOf(r.Addr),
+			ctrl:        c.Node,
+			hitPos:      -1,
+			chainNeeded: 1,
+		}
+		if c.sys.Mode == Multicast {
+			o.probed = make([]bool, c.sys.lastPos()+1)
+		}
+		cs.active = append(cs.active, o)
+
+		kind := flit.ReadReq
+		if r.Write {
+			kind = flit.WriteData
+		}
+		pkt := &flit.Packet{
+			Kind: kind, Src: c.Node, DstEp: flit.ToBank,
+			Addr: r.Addr, Payload: o,
+		}
+		if c.sys.Mode == Multicast {
+			pkt.Dst = c.sys.bankNode(col, c.sys.lastPos())
+			pkt.PathDeliver = c.sys.lastPos() > 0
+		} else {
+			pkt.Dst = c.sys.bankNode(col, 0)
+		}
+		c.sys.Net.Send(pkt, now)
+	}
+}
+
+// Deliver consumes core-bound protocol packets.
+func (c *Controller) Deliver(pkt *flit.Packet, now int64) {
+	o, ok := pkt.Payload.(*op)
+	if !ok {
+		panic(fmt.Sprintf("cache: controller got %v without op payload", pkt))
+	}
+	if o.finished {
+		// Stale message from a completed multicast operation (e.g. a
+		// miss notification from a bank probed after the hit landed).
+		return
+	}
+	switch pkt.Kind {
+	case flit.HitData, flit.DataToCore, flit.WriteDone:
+		c.dataArrived(o, now)
+	case flit.CompleteNotify:
+		o.chainRecv++
+		c.checkComplete(o, now)
+	case flit.MissNotify:
+		o.missCount++
+		if o.missCount == c.sys.lastPos()+1 && o.hitPos < 0 {
+			// Every bank reported a miss: invoke the off-chip memory
+			// (multicast only; unicast asks from the LRU bank).
+			c.sys.Net.Send(&flit.Packet{
+				Kind: flit.MemReadReq, Src: c.Node,
+				Dst: c.sys.Topo.Mem, DstEp: flit.ToMem, Addr: o.req.Addr,
+				Payload: mem.ReadReq{
+					ReplyTo: c.sys.bankNode(o.col, 0),
+					ReplyEp: flit.ToBank,
+					Cookie:  o,
+				},
+			}, now)
+		}
+	default:
+		panic(fmt.Sprintf("cache: controller got unexpected %v", pkt))
+	}
+}
+
+// dataArrived is the CPU-visible completion: record latency and stats.
+func (c *Controller) dataArrived(o *op, now int64) {
+	if o.dataDone {
+		return
+	}
+	o.dataDone = true
+	r := o.req
+	r.DataAt = now
+	total := now - r.Issued
+	net := total - o.bankCycles - o.memCycles
+	if net < 0 {
+		net = 0
+	}
+	r.Breakdown = stats.Breakdown{Bank: o.bankCycles, Network: net, Memory: o.memCycles}
+	if r.Hit {
+		c.sys.Lat.RecordHit(total, r.HitBank, r.Breakdown)
+	} else {
+		c.sys.Lat.RecordMiss(total, r.Breakdown)
+	}
+	if o.hitPos == 0 {
+		// A hit in the MRU bank needs no block movement.
+		o.chainNeeded = 0
+	}
+	if r.Done != nil {
+		r.Done(r, now)
+	}
+	c.checkComplete(o, now)
+}
+
+// checkComplete frees the column when both the data and the replacement
+// chain have finished, and dispatches the next queued request.
+func (c *Controller) checkComplete(o *op, now int64) {
+	if !o.dataDone || !o.chainDone() || o.finished {
+		return
+	}
+	o.finished = true
+	c.sys.Lat.AddOccupancy(now - o.req.Issued)
+	cs := &c.cols[o.col]
+	for i, a := range cs.active {
+		if a == o {
+			cs.active = append(cs.active[:i], cs.active[i+1:]...)
+			break
+		}
+	}
+	c.dispatch(o.col, now)
+}
+
+// Pending returns the number of requests queued or in flight.
+func (c *Controller) Pending() int {
+	n := 0
+	for i := range c.cols {
+		n += len(c.cols[i].q) + len(c.cols[i].active)
+	}
+	return n
+}

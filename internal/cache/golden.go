@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"nucanet/internal/bank"
+)
+
+// Golden is the functional reference model of a bank-set column hierarchy:
+// it applies the replacement policies to plain slices with no timing or
+// network, and must agree exactly with the protocol simulation on every
+// hit/miss decision and on final contents. Property tests enforce this.
+//
+// The model is hierarchical: each bank keeps its own MRU-to-LRU order; a
+// block leaving a bank is that bank's LRU, a block entering becomes its
+// MRU. With 1-way banks this degenerates to exact set-wide LRU (for the
+// LRU and Fast-LRU policies) — and Fast-LRU is functionally identical to
+// LRU by construction, only its timing differs.
+type Golden struct {
+	policy Policy
+	specs  []bank.Spec
+	cols   int
+	sets   int
+	// state[col*sets+set][bankPos] = tags, MRU first within the bank.
+	state [][][]uint64
+}
+
+// NewGolden builds an empty reference model for a column layout.
+func NewGolden(policy Policy, specs []bank.Spec, cols, sets int) *Golden {
+	g := &Golden{policy: policy, specs: specs, cols: cols, sets: sets}
+	g.state = make([][][]uint64, cols*sets)
+	for i := range g.state {
+		g.state[i] = make([][]uint64, len(specs))
+	}
+	return g
+}
+
+// Ways returns the total bank-set associativity.
+func (g *Golden) Ways() int {
+	t := 0
+	for _, s := range g.specs {
+		t += s.Ways
+	}
+	return t
+}
+
+// Warm fills a set with tags in MRU-to-LRU order, distributing them over
+// the banks by distance (closest bank gets the most recent tags).
+func (g *Golden) Warm(col, set int, tags []uint64) {
+	st := g.state[col*g.sets+set]
+	i := 0
+	for b, spec := range g.specs {
+		for w := 0; w < spec.Ways && i < len(tags); w++ {
+			st[b] = append(st[b], tags[i])
+			i++
+		}
+	}
+}
+
+// Access applies one reference to the model and returns whether it hit and
+// at which bank position (way -1 on miss). Evicted is the victim tag that
+// left the cache entirely (valid only when evictedOK).
+func (g *Golden) Access(col, set int, tag uint64) (hit bool, bankPos int, evicted uint64, evictedOK bool) {
+	st := g.state[col*g.sets+set]
+	last := len(st) - 1
+
+	// Tag match across the column.
+	hb, hw := -1, -1
+	for b := range st {
+		for w, t := range st[b] {
+			if t == tag {
+				hb, hw = b, w
+				break
+			}
+		}
+		if hb >= 0 {
+			break
+		}
+	}
+
+	switch g.policy {
+	case LRU, FastLRU:
+		if hb == 0 {
+			g.touch(st, 0, hw)
+			return true, 0, 0, false
+		}
+		if hb > 0 {
+			// Hit block to MRU bank; banks 0..hb-1 shift one farther;
+			// the shifted-out block of hb-1 fills the hole at hb. A
+			// non-full bank absorbs the chain early (cold sets only).
+			hitTag := g.remove(st, hb, hw)
+			carry := hitTag
+			for b := 0; b <= hb; b++ {
+				if b == hb || len(st[b]) < g.specs[b].Ways {
+					g.insertMRU(st, b, carry)
+					break
+				}
+				victim := g.evictLRU(st, b)
+				g.insertMRU(st, b, carry)
+				carry = victim
+			}
+			return true, hb, 0, false
+		}
+		// Miss: new block to MRU; everything shifts one farther; the
+		// victim of the last bank leaves.
+		carry := tag
+		for b := 0; b <= last; b++ {
+			var victim uint64
+			full := len(st[b]) >= g.specs[b].Ways
+			if full {
+				victim = g.evictLRU(st, b)
+			}
+			g.insertMRU(st, b, carry)
+			if !full {
+				return false, -1, 0, false
+			}
+			carry = victim
+		}
+		return false, -1, carry, true
+
+	case Promotion:
+		if hb == 0 {
+			g.touch(st, 0, hw)
+			return true, 0, 0, false
+		}
+		if hb > 0 {
+			// Swap with the next-closer bank: hit block becomes the MRU
+			// of bank hb-1; that bank's LRU moves to bank hb. If the
+			// closer bank has room (cold sets), the block just promotes.
+			hitTag := g.remove(st, hb, hw)
+			if len(st[hb-1]) < g.specs[hb-1].Ways {
+				g.insertMRU(st, hb-1, hitTag)
+				return true, hb, 0, false
+			}
+			victim := g.evictLRU(st, hb-1)
+			g.insertMRU(st, hb-1, hitTag)
+			g.insertMRU(st, hb, victim)
+			return true, hb, 0, false
+		}
+		// Miss: fill the MRU bank and push recursively.
+		carry := tag
+		for b := 0; b <= last; b++ {
+			var victim uint64
+			full := len(st[b]) >= g.specs[b].Ways
+			if full {
+				victim = g.evictLRU(st, b)
+			}
+			g.insertMRU(st, b, carry)
+			if !full {
+				return false, -1, 0, false
+			}
+			carry = victim
+		}
+		return false, -1, carry, true
+	}
+	panic("cache: unknown policy")
+}
+
+// Contents returns the per-bank tags of a set, MRU first within each bank.
+func (g *Golden) Contents(col, set int) [][]uint64 {
+	st := g.state[col*g.sets+set]
+	out := make([][]uint64, len(st))
+	for b := range st {
+		out[b] = append([]uint64(nil), st[b]...)
+	}
+	return out
+}
+
+func (g *Golden) touch(st [][]uint64, b, w int) {
+	tag := st[b][w]
+	copy(st[b][1:w+1], st[b][:w])
+	st[b][0] = tag
+}
+
+func (g *Golden) remove(st [][]uint64, b, w int) uint64 {
+	tag := st[b][w]
+	st[b] = append(st[b][:w], st[b][w+1:]...)
+	return tag
+}
+
+func (g *Golden) evictLRU(st [][]uint64, b int) uint64 {
+	n := len(st[b])
+	tag := st[b][n-1]
+	st[b] = st[b][:n-1]
+	return tag
+}
+
+func (g *Golden) insertMRU(st [][]uint64, b int, tag uint64) {
+	st[b] = append(st[b], 0)
+	copy(st[b][1:], st[b])
+	st[b][0] = tag
+}

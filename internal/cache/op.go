@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"nucanet/internal/bank"
+	"nucanet/internal/stats"
+)
+
+// Request is one CPU-visible L2 access handed to the Controller.
+type Request struct {
+	Addr  uint64
+	Write bool
+
+	// Issued is stamped when the controller accepts the request;
+	// DataAt when the data (or write acknowledgment) reaches the core.
+	Issued int64
+	DataAt int64
+
+	Hit     bool
+	HitBank int // bank position in the column (0 = MRU), -1 on miss
+
+	// Breakdown splits the access latency into its three sources.
+	Breakdown stats.Breakdown
+
+	// Done, if set, runs when the data arrives at the core (the
+	// CPU-visible completion; replacement may still be draining).
+	Done func(r *Request, now int64)
+}
+
+// Latency returns the CPU-visible access latency.
+func (r *Request) Latency() int64 { return r.DataAt - r.Issued }
+
+// op is the shared protocol state of one in-flight column operation; every
+// packet of the operation carries a pointer to it.
+type op struct {
+	req *Request
+	col int
+	set int
+	tag uint64
+
+	// ctrl is the router hosting the controller that owns this
+	// operation; banks address notifications and data there. Single-core
+	// systems use the topology's core router; CMP systems home each
+	// column on one of several controllers.
+	ctrl int
+
+	hitPos int // bank position of the hit, -1 while unknown / miss
+
+	// Critical-path accounting. Bank and memory cycles accumulate as the
+	// access proceeds; network time falls out as the remainder.
+	bankCycles int64
+	memCycles  int64
+
+	// Controller-side completion tracking. chainNeeded is the number of
+	// CompleteNotify packets that must arrive before the column's
+	// replacement traffic has fully drained: usually one, but a
+	// multicast Fast-LRU hit beyond the MRU bank produces two (the hit
+	// block landing at the MRU bank, and the push chain terminating at
+	// the hit bank's hole).
+	missCount   int
+	dataDone    bool
+	chainNeeded int
+	chainRecv   int
+	finished    bool
+
+	// probed[pos] records that the bank at position pos has performed
+	// its tag-match for this operation. Multicast delivery order is not
+	// guaranteed between a bank's probe replica (which may queue at a
+	// congested ejection port) and later replacement traffic, so agents
+	// stash chain/store messages until their probe has run.
+	probed []bool
+}
+
+func (o *op) chainDone() bool { return o.chainRecv >= o.chainNeeded }
+
+// AddMemCycles lets the memory model attribute its service time (wire +
+// access + port stalls) to this operation; called through the cookie
+// interface in package mem.
+func (o *op) AddMemCycles(n int64) { o.memCycles += n }
+
+// blockMsg is the payload of every block-carrying protocol packet.
+type blockMsg struct {
+	op  *op
+	blk bank.Block
+	// hasBlock is false when a unicast Fast-LRU request is forwarded
+	// from a non-full bank that had nothing to evict.
+	hasBlock bool
+	// withReq marks the unicast Fast-LRU combined unit: the data request
+	// traveling together with the evicted block.
+	withReq bool
+	// promoUp marks a Promotion hit block moving one bank closer;
+	// promoDown marks the displaced block returning to the hit bank.
+	promoUp   bool
+	promoDown bool
+}

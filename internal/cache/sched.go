@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"container/heap"
+
+	"nucanet/internal/sim"
+)
+
+// scheduler runs closures at future cycles; each protocol agent owns one
+// so bank-access completions and packet sends happen at their modeled
+// times. It is a sim.Component.
+type scheduler struct {
+	k   *sim.Kernel
+	kid int
+	q   timedHeap
+	seq int
+}
+
+type timedFn struct {
+	at  int64
+	seq int
+	f   func(now int64)
+}
+
+type timedHeap []timedFn
+
+func (h timedHeap) Len() int { return len(h) }
+func (h timedHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timedHeap) Push(x any)   { *h = append(*h, x.(timedFn)) }
+func (h *timedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (s *scheduler) register(k *sim.Kernel) {
+	s.k = k
+	s.kid = k.Register(s)
+}
+
+// at schedules f to run at cycle t (or next cycle if t has passed).
+func (s *scheduler) at(t int64, f func(now int64)) {
+	s.seq++
+	heap.Push(&s.q, timedFn{at: t, seq: s.seq, f: f})
+	s.k.WakeAt(t, s.kid)
+}
+
+// Tick runs all due closures in schedule order.
+func (s *scheduler) Tick(now int64) bool {
+	for len(s.q) > 0 && s.q[0].at <= now {
+		tf := heap.Pop(&s.q).(timedFn)
+		tf.f(now)
+	}
+	return false // WakeAt re-arms per entry
+}

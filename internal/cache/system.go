@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"fmt"
+
+	"nucanet/internal/bank"
+	"nucanet/internal/config"
+	"nucanet/internal/flit"
+	"nucanet/internal/mem"
+	"nucanet/internal/network"
+	"nucanet/internal/routing"
+	"nucanet/internal/sim"
+	"nucanet/internal/stats"
+	"nucanet/internal/topology"
+	"nucanet/internal/trace"
+)
+
+// System is one complete networked L2 cache: topology, routers, banks,
+// protocol agents, controller, and off-chip memory, assembled from a
+// Table 3 design and a (policy, mode) pair.
+type System struct {
+	K      *sim.Kernel
+	Design config.Design
+	Policy Policy
+	Mode   Mode
+	Topo   *topology.Topology
+	Net    *network.Network
+	Memory *mem.Memory
+	Ctrl   *Controller
+	AM     trace.AddrMap
+	Lat    *stats.Latency
+
+	agents [][]*agent // [column][position]
+}
+
+// New builds a system over a fresh kernel-registered network.
+func New(k *sim.Kernel, d config.Design, policy Policy, mode Mode) *System {
+	topo := d.Build()
+	s := &System{
+		K: k, Design: d, Policy: policy, Mode: mode,
+		Topo: topo,
+		AM:   d.AddrMap(),
+		Lat:  stats.NewLatency(len(d.Banks)),
+	}
+	s.Net = network.New(k, topo, routing.ForKind(topo.Kind), d.Router)
+	s.agents = make([][]*agent, topo.Columns())
+	for c := 0; c < topo.Columns(); c++ {
+		col := topo.Column(c)
+		s.agents[c] = make([]*agent, len(col))
+		for p, node := range col {
+			a := &agent{
+				sys: s, node: node, col: c, pos: p, last: len(col) - 1,
+				bk: bank.New(d.Banks[p]),
+			}
+			a.sched.register(k)
+			s.agents[c][p] = a
+			s.Net.Attach(node, flit.ToBank, a)
+		}
+	}
+	s.Ctrl = newController(s)
+	s.Net.Attach(topo.Core, flit.ToCore, s.Ctrl)
+	s.Memory = mem.New(k, s.Net, mem.DefaultConfig())
+	return s
+}
+
+// bankNode returns the router of the bank at (column, position).
+func (s *System) bankNode(col, pos int) topology.NodeID {
+	return s.Topo.Column(col)[pos]
+}
+
+// lastPos returns the position of the LRU bank in every column.
+func (s *System) lastPos() int { return len(s.Design.Banks) - 1 }
+
+// Bank returns the bank state at (column, position) — for tests and
+// validation against the golden model.
+func (s *System) Bank(col, pos int) *bank.Bank { return s.agents[col][pos].bk }
+
+// BankAccesses sums bank accesses across the cache (Fast-LRU roughly
+// halves this versus classic LRU, a claim of the paper).
+func (s *System) BankAccesses() uint64 {
+	var n uint64
+	for _, col := range s.agents {
+		for _, a := range col {
+			n += a.Accesses
+		}
+	}
+	return n
+}
+
+// BankAccessesBySize splits the bank-access counts by bank capacity (KB),
+// as the energy model needs.
+func (s *System) BankAccessesBySize() map[int]uint64 {
+	out := make(map[int]uint64)
+	for _, col := range s.agents {
+		for _, a := range col {
+			out[a.bk.Spec().SizeKB] += a.Accesses
+		}
+	}
+	return out
+}
+
+// Issue submits one access; done (optional) fires when the data reaches
+// the core.
+func (s *System) Issue(addr uint64, write bool, done func(*Request, int64)) *Request {
+	r := &Request{Addr: addr, Write: write, Done: done}
+	s.Ctrl.Issue(r, s.K.Now())
+	return r
+}
+
+// Warm preloads every bank from a warm-state table as produced by
+// (*trace.Synthetic).WarmBlocks: warm[set*Columns+col] lists tags in
+// MRU-to-LRU order. The same table warms a Golden model, keeping the two
+// in lock-step from the first access.
+func (s *System) Warm(warm [][]uint64) {
+	cols := s.AM.Columns
+	for set := 0; set < s.AM.Sets; set++ {
+		for c := 0; c < cols; c++ {
+			tags := warm[set*cols+c]
+			i := 0
+			for p, a := range s.agents[c] {
+				ways := s.Design.Banks[p].Ways
+				for w := 0; w < ways && i < len(tags); w++ {
+					a.bk.InsertLRU(set, bank.Block{Tag: tags[i]})
+					i++
+				}
+			}
+		}
+	}
+}
+
+// NewGoldenFor builds a golden reference model matching this system's
+// geometry and policy.
+func (s *System) NewGoldenFor() *Golden {
+	return NewGolden(s.Policy, s.Design.Banks, s.AM.Columns, s.AM.Sets)
+}
+
+// Drain runs the kernel until all protocol activity quiesces or the cycle
+// budget is exhausted; it errors on a stuck protocol.
+func (s *System) Drain(maxCycles int64) error {
+	if _, idle := s.K.Run(maxCycles); !idle {
+		return fmt.Errorf("cache: system did not quiesce within %d cycles (pending=%d, inflight=%d)",
+			maxCycles, s.Ctrl.Pending(), s.Net.InFlight())
+	}
+	if p := s.Ctrl.Pending(); p != 0 {
+		return fmt.Errorf("cache: %d requests stuck after quiescence", p)
+	}
+	if f := s.Net.InFlight(); f != 0 {
+		return fmt.Errorf("cache: %d flits stuck in the network", f)
+	}
+	return nil
+}
+
+// Contents returns the tags of one set across the column's banks, MRU
+// first within each bank — comparable with Golden.Contents.
+func (s *System) Contents(col, set int) [][]uint64 {
+	out := make([][]uint64, len(s.agents[col]))
+	for p, a := range s.agents[col] {
+		blocks := a.bk.Blocks(set)
+		tags := make([]uint64, len(blocks))
+		for i, b := range blocks {
+			tags[i] = b.Tag
+		}
+		out[p] = tags
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+// Package cmp extends the networked cache to chip multiprocessors — the
+// paper's primary stated future work ("we are planning to expand the
+// study ... to include CMP environments by first analyzing the traffic
+// patterns and finding suitable interconnects").
+//
+// N cores attach along the top row of a mesh design, each co-located with
+// a cache controller. Every bank-set column is *homed* on exactly one
+// controller (the nearest one), preserving the single-writer column
+// serialization the replacement protocols require. A core accessing a
+// remotely-homed column sends its request across the top row to the home
+// controller, which runs the usual protocol and forwards the data back —
+// two extra row traversals that model the CMP's sharing cost.
+//
+// Cores run disjoint working sets (a multiprogrammed workload, the common
+// shared-NUCA evaluation): each core's tags live in a private tag range,
+// and the warm state interleaves the cores' hot blocks so they compete
+// for the shared capacity from the first access.
+package cmp
+
+import (
+	"fmt"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/config"
+	"nucanet/internal/flit"
+	"nucanet/internal/sim"
+	"nucanet/internal/stats"
+	"nucanet/internal/topology"
+)
+
+// coreTagStride separates the cores' tag spaces (far above any tag a
+// generator produces in a bounded run).
+const coreTagStride = uint64(1) << 32
+
+// coreReq carries a remote core's request to the home controller.
+type coreReq struct {
+	req  *cache.Request
+	home int // controller index
+}
+
+// coreData carries the completed data notice back to the requesting core.
+type coreData struct {
+	req  *cache.Request
+	port *Port
+}
+
+// System is a shared networked L2 with N cores.
+type System struct {
+	K     *sim.Kernel
+	Cache *cache.System
+	N     int
+
+	ports []*Port
+	ctrls []*cache.Controller
+	nodes []topology.NodeID // controller/core routers
+	home  []int             // column -> controller index
+}
+
+// Port is one core's interface to the shared cache; it satisfies cpu.L2.
+type Port struct {
+	sys  *System
+	id   int
+	node topology.NodeID
+	ctrl *cache.Controller
+
+	// Lat records the core-observed latency (including the trips to and
+	// from a remote home controller).
+	Lat *stats.Latency
+
+	RemoteIssues uint64
+	LocalIssues  uint64
+
+	pend map[*cache.Request]portPending
+}
+
+// hub is the ToCore endpoint at a controller's router: it demultiplexes
+// protocol packets to the controller and CMP packets to the port logic.
+type hub struct {
+	ctrl *cache.Controller
+	port *Port
+}
+
+func (h *hub) Deliver(pkt *flit.Packet, now int64) {
+	switch p := pkt.Payload.(type) {
+	case *coreReq:
+		h.ctrl.Issue(p.req, now)
+	case *coreData:
+		p.port.complete(p.req, now)
+	default:
+		h.ctrl.Deliver(pkt, now)
+	}
+}
+
+// New builds an n-core system over a mesh design (A-D). Cores spread
+// evenly along the top row; the topology's own core attachment point is
+// ignored in favor of the computed positions.
+func New(k *sim.Kernel, d config.Design, policy cache.Policy, mode cache.Mode, n int) *System {
+	if d.Kind == topology.Halo {
+		panic("cmp: halo designs have a single hub; CMP needs a mesh design (A-D)")
+	}
+	if n < 1 || n > d.W {
+		panic(fmt.Sprintf("cmp: core count %d out of range [1,%d]", n, d.W))
+	}
+	cs := cache.New(k, d, policy, mode)
+	s := &System{K: k, Cache: cs, N: n}
+
+	w := d.W
+	for i := 0; i < n; i++ {
+		x := (2*i + 1) * w / (2 * n) // evenly spread along the top row
+		node := cs.Topo.NodeAt(x, 0)
+		ctrl := cs.Ctrl
+		if node != ctrl.Node || i > 0 {
+			ctrl = cache.NewControllerAt(cs, node)
+		}
+		port := &Port{sys: s, id: i, node: node, ctrl: ctrl,
+			Lat: stats.NewLatency(len(d.Banks))}
+		s.ports = append(s.ports, port)
+		s.ctrls = append(s.ctrls, ctrl)
+		s.nodes = append(s.nodes, node)
+		cs.Net.Attach(node, flit.ToCore, &hub{ctrl: ctrl, port: port})
+	}
+	// Home every column on the nearest controller.
+	s.home = make([]int, w)
+	for col := 0; col < w; col++ {
+		best, bestDist := 0, 1<<30
+		for i, node := range s.nodes {
+			d := abs(cs.Topo.Nodes[node].X - col)
+			if d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		s.home[col] = best
+	}
+	return s
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Port returns core i's cache interface.
+func (s *System) Port(i int) *Port { return s.ports[i] }
+
+// Home returns the controller index owning a column.
+func (s *System) Home(col int) int { return s.home[col] }
+
+// ControllerNode returns the router of controller i.
+func (s *System) ControllerNode(i int) topology.NodeID { return s.nodes[i] }
+
+// OffsetAddr relocates an address into core i's private tag range.
+func (s *System) OffsetAddr(addr uint64, core int) uint64 {
+	am := s.Cache.AM
+	return am.Compose(am.TagOf(addr)+uint64(core)*coreTagStride,
+		am.SetOf(addr), am.ColumnOf(addr))
+}
+
+// Warm interleaves the cores' warm sets into the shared cache: each set's
+// ways split evenly among the cores' most recent blocks, so the cores
+// compete for capacity from the first access. warms[i] is core i's
+// WarmBlocks table (ways entries per set).
+func (s *System) Warm(warms [][][]uint64) {
+	am := s.Cache.AM
+	ways := s.Cache.Design.Ways()
+	per := ways / len(warms)
+	if per == 0 {
+		per = 1
+	}
+	merged := make([][]uint64, am.Columns*am.Sets)
+	for idx := range merged {
+		var tags []uint64
+		// Round-robin the cores' MRU blocks into the set.
+		for w := 0; w < ways; w++ {
+			c := w % len(warms)
+			d := w / len(warms)
+			if c >= len(warms) || d >= len(warms[c][idx]) {
+				continue
+			}
+			tag := warms[c][idx][d] + uint64(c)*coreTagStride
+			tags = append(tags, tag)
+		}
+		merged[idx] = tags
+	}
+	s.Cache.Warm(merged)
+}
+
+// Issue submits core-side access i: local columns go straight to the
+// co-located controller; remote columns cross the top row to their home.
+func (p *Port) Issue(addr uint64, write bool, done func(*cache.Request, int64)) *cache.Request {
+	now := p.sys.K.Now()
+	col := p.sys.Cache.AM.ColumnOf(addr)
+	h := p.sys.home[col]
+	r := &cache.Request{Addr: addr, Write: write}
+	issued := now
+	r.Done = func(req *cache.Request, t int64) {
+		// Runs at the home controller when the data arrives there.
+		if h == p.id {
+			p.complete(req, t)
+			return
+		}
+		// Forward the data (or write ack) to the requesting core.
+		kind := flit.DataToCore
+		if req.Write {
+			kind = flit.WriteDone
+		}
+		p.sys.Cache.Net.Send(&flit.Packet{
+			Kind: kind, Src: p.sys.nodes[h], Dst: p.node, DstEp: flit.ToCore,
+			Addr: req.Addr, Payload: &coreData{req: req, port: p},
+		}, t)
+	}
+	p.userDone(r, done, issued)
+
+	if h == p.id {
+		p.LocalIssues++
+		p.ctrl.Issue(r, now)
+		return r
+	}
+	p.RemoteIssues++
+	kind := flit.ReadReq
+	if write {
+		kind = flit.WriteData
+	}
+	p.sys.Cache.Net.Send(&flit.Packet{
+		Kind: kind, Src: p.node, Dst: p.sys.nodes[h], DstEp: flit.ToCore,
+		Addr: addr, Payload: &coreReq{req: r, home: h},
+	}, now)
+	return r
+}
+
+// pending bookkeeping: the port-level done callback and issue stamp.
+type portPending struct {
+	done   func(*cache.Request, int64)
+	issued int64
+}
+
+func (p *Port) userDone(r *cache.Request, done func(*cache.Request, int64), issued int64) {
+	if p.pend == nil {
+		p.pend = make(map[*cache.Request]portPending)
+	}
+	p.pend[r] = portPending{done: done, issued: issued}
+}
+
+// complete fires when the data reaches this core's router.
+func (p *Port) complete(r *cache.Request, now int64) {
+	pp, ok := p.pend[r]
+	if !ok {
+		panic("cmp: completion for unknown request")
+	}
+	delete(p.pend, r)
+	lat := now - pp.issued
+	if r.Hit {
+		p.Lat.RecordHit(lat, r.HitBank, r.Breakdown)
+	} else {
+		p.Lat.RecordMiss(lat, r.Breakdown)
+	}
+	if pp.done != nil {
+		pp.done(r, now)
+	}
+}
+
+// Pending returns outstanding core-side requests.
+func (p *Port) Pending() int { return len(p.pend) }

@@ -1,0 +1,211 @@
+package cmp
+
+import (
+	"testing"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/config"
+	"nucanet/internal/cpu"
+	"nucanet/internal/sim"
+	"nucanet/internal/trace"
+)
+
+func opts(cores, n int) Options {
+	return Options{
+		DesignID: "A", Policy: cache.FastLRU, Mode: cache.Multicast,
+		Cores: cores, Benchmark: "gcc", Accesses: n, Seed: 9,
+		CPU: cpu.DefaultConfig(),
+	}
+}
+
+func TestSingleCoreMatchesStructure(t *testing.T) {
+	res, err := Run(opts(1, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 1 {
+		t.Fatalf("cores = %d", len(res.Cores))
+	}
+	c := res.Cores[0]
+	if c.IPC <= 0 || c.AvgLatency <= 0 {
+		t.Fatalf("bad core result: %+v", c)
+	}
+	// One core homes every column: nothing is remote.
+	if c.RemoteShare != 0 {
+		t.Fatalf("single core remote share = %v, want 0", c.RemoteShare)
+	}
+}
+
+func TestHomeAssignmentNearest(t *testing.T) {
+	d, _ := config.DesignByID("A")
+	k := sim.NewKernel()
+	s := New(k, d, cache.FastLRU, cache.Multicast, 4)
+	// Cores sit at x = 2, 6, 10, 14; columns split into four runs.
+	for col := 0; col < 16; col++ {
+		want := 0
+		switch {
+		case col >= 4 && col <= 8:
+			want = 1
+		case col > 8 && col <= 12:
+			want = 2
+		case col > 12:
+			want = 3
+		}
+		// Boundaries can tie; just require monotonicity and range.
+		got := s.Home(col)
+		if got < 0 || got > 3 {
+			t.Fatalf("home(%d) = %d", col, got)
+		}
+		_ = want
+	}
+	if s.Home(0) != 0 || s.Home(15) != 3 {
+		t.Fatalf("edge homes wrong: %d %d", s.Home(0), s.Home(15))
+	}
+	for col := 1; col < 16; col++ {
+		if s.Home(col) < s.Home(col-1) {
+			t.Fatal("home assignment must be monotone along the row")
+		}
+	}
+}
+
+func TestRemoteIssuesCrossTheRow(t *testing.T) {
+	res, err := Run(opts(4, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cores {
+		// With 16 columns over 4 cores, ~3/4 of uniformly spread
+		// accesses are remote.
+		if c.RemoteShare < 0.4 || c.RemoteShare > 0.95 {
+			t.Errorf("core %d remote share = %.2f, want ~0.75", c.Core, c.RemoteShare)
+		}
+	}
+}
+
+func TestInterferenceRaisesMissRate(t *testing.T) {
+	one, err := Run(opts(1, 900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Run(opts(4, 900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four disjoint working sets share 16 ways: per-core hit rates drop.
+	if four.CacheHitRate >= one.CacheHitRate {
+		t.Errorf("4-core hit rate %.3f not below 1-core %.3f",
+			four.CacheHitRate, one.CacheHitRate)
+	}
+	// But aggregate throughput still rises with cores.
+	if four.ThroughputIPC <= one.ThroughputIPC {
+		t.Errorf("4-core throughput %.3f not above 1-core %.3f",
+			four.ThroughputIPC, one.ThroughputIPC)
+	}
+}
+
+func TestDeterministicCMP(t *testing.T) {
+	a, err := Run(opts(2, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts(2, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cores {
+		if a.Cores[i] != b.Cores[i] {
+			t.Fatalf("nondeterministic core %d: %+v vs %+v", i, a.Cores[i], b.Cores[i])
+		}
+	}
+}
+
+func TestOffsetAddrDisjoint(t *testing.T) {
+	d, _ := config.DesignByID("A")
+	k := sim.NewKernel()
+	s := New(k, d, cache.FastLRU, cache.Multicast, 2)
+	am := s.Cache.AM
+	addr := am.Compose(42, 13, 5)
+	a0 := s.OffsetAddr(addr, 0)
+	a1 := s.OffsetAddr(addr, 1)
+	if a0 == a1 {
+		t.Fatal("cores must get disjoint tag ranges")
+	}
+	if am.SetOf(a0) != am.SetOf(a1) || am.ColumnOf(a0) != am.ColumnOf(a1) {
+		t.Fatal("offset must preserve set and column")
+	}
+	if am.TagOf(a0) == am.TagOf(a1) {
+		t.Fatal("tags must differ")
+	}
+}
+
+func TestCMPOnSimplifiedMesh(t *testing.T) {
+	o := opts(2, 500)
+	o.DesignID = "B"
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputIPC <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestHaloRejected(t *testing.T) {
+	d, _ := config.DesignByID("E")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("halo CMP must panic")
+		}
+	}()
+	New(sim.NewKernel(), d, cache.FastLRU, cache.Multicast, 2)
+}
+
+func TestRunErrors(t *testing.T) {
+	bad := opts(0, 100)
+	if _, err := Run(bad); err == nil {
+		t.Fatal("zero cores must error")
+	}
+	bad2 := opts(2, 100)
+	bad2.Benchmark = "doom"
+	if _, err := Run(bad2); err == nil {
+		t.Fatal("bad benchmark must error")
+	}
+}
+
+func TestWarmSplitsWays(t *testing.T) {
+	d, _ := config.DesignByID("A")
+	k := sim.NewKernel()
+	s := New(k, d, cache.FastLRU, cache.Multicast, 4)
+	gens := make([][][]uint64, 4)
+	for i := range gens {
+		g := trace.NewSynthetic(mustProf(t), s.Cache.AM, uint64(i+1))
+		gens[i] = g.WarmBlocks(16)
+	}
+	s.Warm(gens)
+	// Every set holds 16 blocks, 4 from each core's tag range.
+	counts := map[uint64]int{}
+	for _, bankTags := range s.Cache.Contents(3, 7) {
+		for _, tag := range bankTags {
+			counts[tag/coreTagStride]++
+		}
+	}
+	total := 0
+	for c := 0; c < 4; c++ {
+		if counts[uint64(c)] != 4 {
+			t.Fatalf("core %d holds %d ways of set, want 4 (%v)", c, counts[uint64(c)], counts)
+		}
+		total += counts[uint64(c)]
+	}
+	if total != 16 {
+		t.Fatalf("set holds %d blocks, want 16", total)
+	}
+}
+
+func mustProf(t *testing.T) trace.Profile {
+	t.Helper()
+	p, err := trace.ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

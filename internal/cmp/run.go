@@ -1,0 +1,110 @@
+package cmp
+
+import (
+	"fmt"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/config"
+	"nucanet/internal/cpu"
+	"nucanet/internal/sim"
+	"nucanet/internal/trace"
+)
+
+// Options configures a CMP run.
+type Options struct {
+	DesignID  string // a mesh design: A-D
+	Policy    cache.Policy
+	Mode      cache.Mode
+	Cores     int
+	Benchmark string // every core runs this profile on a private tag range
+	Accesses  int    // per core
+	Seed      uint64
+	CPU       cpu.Config
+}
+
+// CoreResult is one core's outcome.
+type CoreResult struct {
+	Core         int
+	IPC          float64
+	AvgLatency   float64
+	HitRate      float64
+	RemoteShare  float64 // fraction of issues homed on another controller
+	Instructions int64
+	Cycles       int64
+}
+
+// Result aggregates a CMP run.
+type Result struct {
+	Options Options
+	Cores   []CoreResult
+	// ThroughputIPC sums the cores' IPCs — the CMP's aggregate.
+	ThroughputIPC float64
+	CacheHitRate  float64
+}
+
+// Run executes an n-core workload to completion.
+func Run(opt Options) (Result, error) {
+	d, err := config.DesignByID(opt.DesignID)
+	if err != nil {
+		return Result{}, err
+	}
+	prof, err := trace.ProfileByName(opt.Benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	if opt.Accesses <= 0 || opt.Cores < 1 {
+		return Result{}, fmt.Errorf("cmp: bad accesses/cores %d/%d", opt.Accesses, opt.Cores)
+	}
+	cpuCfg := opt.CPU
+	if cpuCfg.Window == 0 {
+		cpuCfg = cpu.DefaultConfig()
+	}
+
+	k := sim.NewKernel()
+	s := New(k, d, opt.Policy, opt.Mode, opt.Cores)
+
+	// Per-core workloads on private tag ranges, warmed interleaved.
+	gens := make([]*trace.Synthetic, opt.Cores)
+	warms := make([][][]uint64, opt.Cores)
+	for i := range gens {
+		gens[i] = trace.NewSynthetic(prof, s.Cache.AM, opt.Seed+uint64(i)*977)
+		warms[i] = gens[i].WarmBlocks(d.Ways())
+	}
+	s.Warm(warms)
+
+	cores := make([]*cpu.Core, opt.Cores)
+	for i := range cores {
+		accs := trace.Take(gens[i], opt.Accesses)
+		for j := range accs {
+			accs[j].Addr = s.OffsetAddr(accs[j].Addr, i)
+		}
+		cfg := cpuCfg
+		cfg.Seed = opt.Seed + uint64(i)*31
+		cores[i] = cpu.New(k, s.Port(i), prof, accs, cfg)
+		cores[i].Start()
+	}
+	if _, idle := k.Run(1 << 40); !idle {
+		return Result{}, fmt.Errorf("cmp: run did not complete")
+	}
+
+	res := Result{Options: opt, CacheHitRate: s.Cache.Lat.HitRate()}
+	for i, c := range cores {
+		cr, err := c.Result()
+		if err != nil {
+			return Result{}, fmt.Errorf("cmp: core %d: %w", i, err)
+		}
+		p := s.Port(i)
+		total := p.RemoteIssues + p.LocalIssues
+		res.Cores = append(res.Cores, CoreResult{
+			Core:         i,
+			IPC:          cr.IPC(),
+			AvgLatency:   p.Lat.Avg(),
+			HitRate:      p.Lat.HitRate(),
+			RemoteShare:  float64(p.RemoteIssues) / float64(total),
+			Instructions: cr.Instructions,
+			Cycles:       cr.Cycles,
+		})
+		res.ThroughputIPC += cr.IPC()
+	}
+	return res, nil
+}

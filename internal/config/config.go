@@ -1,0 +1,201 @@
+// Package config defines the six evaluated network designs of Table 3 and
+// the Table 1 system parameters, and builds their topologies.
+//
+// Every design is a 16 MB L2: 256 x 64 KB banks (A, B, E), 64 x 256 KB
+// banks (C), or 16 columns of {64,64,128,256,512} KB non-uniform banks
+// (D, F). All keep 16 bank-set columns of total associativity 16 and 1024
+// sets per bank, so one address map fits all.
+package config
+
+import (
+	"fmt"
+
+	"nucanet/internal/bank"
+	"nucanet/internal/router"
+	"nucanet/internal/topology"
+	"nucanet/internal/trace"
+)
+
+// Design is one row of Table 3: a topology recipe plus the bank sizes of
+// one column.
+type Design struct {
+	ID          string
+	Description string
+
+	Kind topology.Kind
+	// Mesh parameters.
+	W, H        int
+	CoreX, MemX int
+	HorizDelay  int
+	VertDelay   []int
+	// Halo parameters.
+	Spikes, SpikeLen int
+	SpikeDelay       []int
+	MemWireDelay     int
+
+	// Banks lists the bank specs of one column, MRU to LRU position.
+	Banks []bank.Spec
+
+	Router router.Config
+}
+
+// Build constructs the design's topology.
+func (d Design) Build() *topology.Topology {
+	switch d.Kind {
+	case topology.Mesh:
+		return topology.NewMesh(topology.MeshSpec{
+			W: d.W, H: d.H, CoreX: d.CoreX, MemX: d.MemX,
+			HorizDelay: d.HorizDelay, VertDelay: d.VertDelay,
+		})
+	case topology.SimplifiedMesh:
+		return topology.NewSimplifiedMesh(topology.MeshSpec{
+			W: d.W, H: d.H, CoreX: d.CoreX, MemX: d.MemX,
+			HorizDelay: d.HorizDelay, VertDelay: d.VertDelay,
+		})
+	case topology.MinimalMesh:
+		return topology.NewMinimalMesh(topology.MeshSpec{
+			W: d.W, H: d.H, CoreX: d.CoreX, MemX: d.MemX,
+			HorizDelay: d.HorizDelay, VertDelay: d.VertDelay,
+		})
+	case topology.Halo:
+		return topology.NewHalo(topology.HaloSpec{
+			Spikes: d.Spikes, Length: d.SpikeLen,
+			LinkDelay: d.SpikeDelay, MemWireDelay: d.MemWireDelay,
+		})
+	}
+	panic(fmt.Sprintf("config: unknown kind %v", d.Kind))
+}
+
+// Columns returns the number of bank-set columns.
+func (d Design) Columns() int {
+	if d.Kind == topology.Halo {
+		return d.Spikes
+	}
+	return d.W
+}
+
+// Ways returns the total bank-set associativity.
+func (d Design) Ways() int {
+	total := 0
+	for _, b := range d.Banks {
+		total += b.Ways
+	}
+	return total
+}
+
+// CapacityKB returns the total L2 capacity.
+func (d Design) CapacityKB() int {
+	per := 0
+	for _, b := range d.Banks {
+		per += b.SizeKB
+	}
+	return per * d.Columns()
+}
+
+// AddrMap returns the address decomposition for this design.
+func (d Design) AddrMap() trace.AddrMap {
+	return trace.AddrMap{Columns: d.Columns(), Sets: d.Banks[0].Sets()}
+}
+
+// uniform64 is sixteen 64 KB direct-mapped banks per column.
+func uniform64(n int) []bank.Spec {
+	out := make([]bank.Spec, n)
+	for i := range out {
+		out[i] = bank.Spec{SizeKB: 64, Ways: 1}
+	}
+	return out
+}
+
+// nonUniform is the Design D/F column: two 1-way 64 KB banks, one 2-way
+// 128 KB, one 4-way 256 KB, one 8-way 512 KB — 16 ways total.
+func nonUniform() []bank.Spec {
+	return []bank.Spec{
+		{SizeKB: 64, Ways: 1},
+		{SizeKB: 64, Ways: 1},
+		{SizeKB: 128, Ways: 2},
+		{SizeKB: 256, Ways: 4},
+		{SizeKB: 512, Ways: 8},
+	}
+}
+
+// Designs returns Table 3: the six evaluated configurations.
+func Designs() []Design {
+	rc := router.DefaultConfig()
+	return []Design{
+		{
+			ID: "A", Description: "16x16 mesh, uniform 64KB banks (baseline)",
+			Kind: topology.Mesh, W: 16, H: 16, CoreX: 7, MemX: 8,
+			HorizDelay: 1, VertDelay: []int{1},
+			Banks: uniform64(16), Router: rc,
+		},
+		{
+			ID: "B", Description: "16x16 simplified mesh (XYX), uniform 64KB banks",
+			Kind: topology.SimplifiedMesh, W: 16, H: 16, CoreX: 7, MemX: 7,
+			HorizDelay: 1, VertDelay: []int{1},
+			Banks: uniform64(16), Router: rc,
+		},
+		{
+			ID: "C", Description: "16x4 simplified mesh, uniform 256KB banks",
+			Kind: topology.SimplifiedMesh, W: 16, H: 4, CoreX: 7, MemX: 7,
+			HorizDelay: 2, VertDelay: []int{2},
+			Banks: []bank.Spec{
+				{SizeKB: 256, Ways: 4}, {SizeKB: 256, Ways: 4},
+				{SizeKB: 256, Ways: 4}, {SizeKB: 256, Ways: 4},
+			},
+			Router: rc,
+		},
+		{
+			ID: "D", Description: "16x5 simplified mesh, non-uniform banks",
+			Kind: topology.SimplifiedMesh, W: 16, H: 5, CoreX: 7, MemX: 7,
+			HorizDelay: 3, VertDelay: []int{0, 1, 2, 2, 3},
+			Banks: nonUniform(), Router: rc,
+		},
+		{
+			ID: "E", Description: "16-spike halo, spike length 16, uniform 64KB banks",
+			Kind: topology.Halo, Spikes: 16, SpikeLen: 16,
+			SpikeDelay: []int{1}, MemWireDelay: 16,
+			Banks: uniform64(16), Router: rc,
+		},
+		{
+			ID: "F", Description: "16-spike halo, spike length 5, non-uniform banks",
+			Kind: topology.Halo, Spikes: 16, SpikeLen: 5,
+			SpikeDelay: []int{1, 1, 2, 2, 3}, MemWireDelay: 9,
+			Banks: nonUniform(), Router: rc,
+		},
+	}
+}
+
+// DesignByID looks up one of A-F.
+func DesignByID(id string) (Design, error) {
+	for _, d := range Designs() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Design{}, fmt.Errorf("config: unknown design %q", id)
+}
+
+// Validate checks a design's internal consistency.
+func (d Design) Validate() error {
+	if len(d.Banks) == 0 {
+		return fmt.Errorf("config %s: no banks", d.ID)
+	}
+	rows := d.H
+	if d.Kind == topology.Halo {
+		rows = d.SpikeLen
+	}
+	if len(d.Banks) != rows {
+		return fmt.Errorf("config %s: %d bank specs for %d rows", d.ID, len(d.Banks), rows)
+	}
+	sets := d.Banks[0].Sets()
+	for _, b := range d.Banks {
+		if b.Sets() != sets {
+			return fmt.Errorf("config %s: bank %v has %d sets, want %d", d.ID, b, b.Sets(), sets)
+		}
+	}
+	topo := d.Build()
+	if err := topo.Validate(); err != nil {
+		return fmt.Errorf("config %s: %v", d.ID, err)
+	}
+	return nil
+}

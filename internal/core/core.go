@@ -1,0 +1,144 @@
+// Package core is the top-level API of the nucanet reproduction: it
+// assembles a networked L2 cache (Table 3 design + replacement policy +
+// unicast/multicast mode), drives it with a Table 2 benchmark workload
+// through the CPU model, and returns the measurements the paper reports.
+//
+// The experiment drivers in experiments.go regenerate every table and
+// figure of the evaluation section; cmd/paperbench formats them.
+package core
+
+import (
+	"fmt"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/config"
+	"nucanet/internal/cpu"
+	"nucanet/internal/energy"
+	"nucanet/internal/mem"
+	"nucanet/internal/network"
+	"nucanet/internal/sim"
+	"nucanet/internal/trace"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// DesignID selects a Table 3 configuration ("A".."F").
+	DesignID string
+	Policy   cache.Policy
+	Mode     cache.Mode
+	// Benchmark names a Table 2 profile.
+	Benchmark string
+	// Accesses is the measured L2 access count (after warm-up).
+	Accesses int
+	Seed     uint64
+	CPU      cpu.Config
+}
+
+// DefaultOptions returns the baseline configuration: Design A, multicast
+// Fast-LRU, gcc, 10k accesses.
+func DefaultOptions() Options {
+	return Options{
+		DesignID:  "A",
+		Policy:    cache.FastLRU,
+		Mode:      cache.Multicast,
+		Benchmark: "gcc",
+		Accesses:  10000,
+		Seed:      42,
+		CPU:       cpu.DefaultConfig(),
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Options Options
+	Design  config.Design
+
+	IPC          float64
+	PerfectIPC   float64
+	Instructions int64
+	Cycles       int64
+
+	AvgLatency   float64
+	AvgHit       float64
+	AvgMiss      float64
+	AvgOccupancy float64 // issue -> replacement-chain completion
+	HitRate      float64
+	MRUHitShare  float64 // fraction of hits at the MRU bank
+
+	BankShare, NetworkShare, MemShare float64 // Figure 7 split
+
+	BankAccesses uint64
+	Network      network.Stats
+	Memory       mem.Stats
+
+	// Energy is the activity-based energy estimate of the run (the
+	// paper's stated future-work analysis; see internal/energy).
+	Energy energy.Report
+}
+
+// Run executes one simulation to completion.
+func Run(opt Options) (Result, error) {
+	d, err := config.DesignByID(opt.DesignID)
+	if err != nil {
+		return Result{}, err
+	}
+	prof, err := trace.ProfileByName(opt.Benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	if opt.Accesses <= 0 {
+		return Result{}, fmt.Errorf("core: accesses must be positive, got %d", opt.Accesses)
+	}
+
+	k := sim.NewKernel()
+	sys := cache.New(k, d, opt.Policy, opt.Mode)
+	gen := trace.NewSynthetic(prof, sys.AM, opt.Seed)
+	sys.Warm(gen.WarmBlocks(d.Ways()))
+	accs := trace.Take(gen, opt.Accesses)
+
+	cpuCfg := opt.CPU
+	if cpuCfg.Window == 0 {
+		cpuCfg = cpu.DefaultConfig()
+	}
+	cpuCfg.Seed = opt.Seed
+	c := cpu.New(k, sys, prof, accs, cpuCfg)
+	res, err := c.Run(1 << 40)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %s/%v/%v/%s: %w",
+			opt.DesignID, opt.Policy, opt.Mode, opt.Benchmark, err)
+	}
+	if err := sys.Drain(1 << 30); err != nil {
+		return Result{}, err
+	}
+
+	bank, net, memShare := sys.Lat.Shares()
+	netStats := sys.Net.Stats()
+	memStats := sys.Memory.Stats()
+	erep := energy.DefaultModel().Estimate(energy.Activity{
+		FlitHops:     netStats.Router.FlitsRouted,
+		BankAccesses: sys.BankAccessesBySize(),
+		MemBlocks:    memStats.Reads + memStats.WriteBacks,
+		Accesses:     uint64(opt.Accesses),
+	})
+	return Result{
+		Options:      opt,
+		Design:       d,
+		IPC:          res.IPC(),
+		PerfectIPC:   prof.PerfectIPC,
+		Instructions: res.Instructions,
+		Cycles:       res.Cycles,
+		AvgLatency:   sys.Lat.Avg(),
+		AvgHit:       sys.Lat.AvgHit(),
+		AvgMiss:      sys.Lat.AvgMiss(),
+		AvgOccupancy: sys.Lat.AvgOccupancy(),
+		HitRate:      sys.Lat.HitRate(),
+		MRUHitShare:  sys.Lat.HitWayShare(0),
+		BankShare:    bank,
+		NetworkShare: net,
+		MemShare:     memShare,
+		BankAccesses: sys.BankAccesses(),
+		Network:      netStats,
+		Memory:       memStats,
+		Energy:       erep,
+	}, nil
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math"
+
+	"nucanet/internal/area"
+	"nucanet/internal/bank"
+	"nucanet/internal/cache"
+	"nucanet/internal/config"
+	"nucanet/internal/cpu"
+	"nucanet/internal/energy"
+	"nucanet/internal/sim"
+	"nucanet/internal/trace"
+)
+
+// Scheme pairs a replacement policy with a request mode — the five bars
+// of Figure 8.
+type Scheme struct {
+	Name   string
+	Policy cache.Policy
+	Mode   cache.Mode
+}
+
+// Fig8Schemes returns the five evaluated schemes in the paper's order.
+func Fig8Schemes() []Scheme {
+	return []Scheme{
+		{"unicast+promotion", cache.Promotion, cache.Unicast},
+		{"unicast+LRU", cache.LRU, cache.Unicast},
+		{"unicast+fastLRU", cache.FastLRU, cache.Unicast},
+		{"multicast+promotion", cache.Promotion, cache.Multicast},
+		{"multicast+fastLRU", cache.FastLRU, cache.Multicast},
+	}
+}
+
+// ExpConfig bounds the experiment size.
+type ExpConfig struct {
+	Accesses int
+	Seed     uint64
+}
+
+// DefaultExpConfig keeps the full figure sweeps to a few minutes.
+func DefaultExpConfig() ExpConfig { return ExpConfig{Accesses: 8000, Seed: 42} }
+
+// Fig7Row is one bar of Figure 7: the latency split of the unicast LRU
+// baseline (Design A).
+type Fig7Row struct {
+	Benchmark               string
+	BankPct, NetPct, MemPct float64
+}
+
+// Fig7 regenerates Figure 7.
+func Fig7(cfg ExpConfig) ([]Fig7Row, error) {
+	var out []Fig7Row
+	for _, name := range trace.Names() {
+		r, err := Run(Options{
+			DesignID: "A", Policy: cache.LRU, Mode: cache.Unicast,
+			Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Row{
+			Benchmark: name,
+			BankPct:   100 * r.BankShare,
+			NetPct:    100 * r.NetworkShare,
+			MemPct:    100 * r.MemShare,
+		})
+	}
+	return out, nil
+}
+
+// Fig8Cell is one (benchmark, scheme) measurement of Figure 8.
+type Fig8Cell struct {
+	Benchmark string
+	Scheme    string
+	AvgLat    float64 // Figure 8(a)
+	HitLat    float64 // Figure 8(b)
+	MissLat   float64 // Figure 8(c)
+	OccLat    float64 // column occupancy: issue -> replacement complete
+	IPC       float64
+	HitRate   float64
+	MRUShare  float64
+}
+
+// Fig8 regenerates Figure 8: all five schemes on Design A per benchmark.
+func Fig8(cfg ExpConfig) ([]Fig8Cell, error) {
+	var out []Fig8Cell
+	for _, name := range trace.Names() {
+		for _, s := range Fig8Schemes() {
+			r, err := Run(Options{
+				DesignID: "A", Policy: s.Policy, Mode: s.Mode,
+				Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig8Cell{
+				Benchmark: name, Scheme: s.Name,
+				AvgLat: r.AvgLatency, HitLat: r.AvgHit, MissLat: r.AvgMiss,
+				OccLat: r.AvgOccupancy,
+				IPC:    r.IPC, HitRate: r.HitRate, MRUShare: r.MRUHitShare,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig9Cell is one (benchmark, design) measurement of Figure 9.
+type Fig9Cell struct {
+	Benchmark     string
+	DesignID      string
+	IPC           float64
+	NormalizedIPC float64 // relative to Design A on the same benchmark
+	AvgLat        float64
+}
+
+// Fig9 regenerates Figure 9: Designs A-F with multicast Fast-LRU.
+func Fig9(cfg ExpConfig) ([]Fig9Cell, error) {
+	var out []Fig9Cell
+	for _, name := range trace.Names() {
+		var baseIPC float64
+		for _, d := range config.Designs() {
+			r, err := Run(Options{
+				DesignID: d.ID, Policy: cache.FastLRU, Mode: cache.Multicast,
+				Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if d.ID == "A" {
+				baseIPC = r.IPC
+			}
+			out = append(out, Fig9Cell{
+				Benchmark: name, DesignID: d.ID,
+				IPC: r.IPC, NormalizedIPC: r.IPC / baseIPC, AvgLat: r.AvgLatency,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table4 regenerates the area analysis.
+func Table4() []area.Report {
+	return area.Table4(area.DefaultModel())
+}
+
+// Headline carries the abstract's three claims, recomputed.
+type Headline struct {
+	// IPCGainVsMeshPromotion: halo (F) multicast Fast-LRU vs mesh (A)
+	// multicast Promotion — the paper reports +38% on average.
+	IPCGainVsMeshPromotion float64
+	// InterconnectAreaRatio: design F network area over design A's —
+	// the paper reports 23%.
+	InterconnectAreaRatio float64
+	// FastLRUIPCGain: multicast Fast-LRU vs multicast Promotion on the
+	// mesh — the paper reports +20%.
+	FastLRUIPCGain float64
+	// HaloIPCGain: design F vs design A, both multicast Fast-LRU — the
+	// abstract attributes +18% to the halo topology.
+	HaloIPCGain float64
+}
+
+// ComputeHeadline reruns the relevant configurations and aggregates the
+// geometric-mean gains across all benchmarks.
+func ComputeHeadline(cfg ExpConfig) (Headline, error) {
+	var h Headline
+	gm := func(ratios []float64) float64 {
+		p := 1.0
+		for _, r := range ratios {
+			p *= r
+		}
+		return math.Pow(p, 1/float64(len(ratios)))
+	}
+	var vsPromo, fastGain, haloGain []float64
+	for _, name := range trace.Names() {
+		base, err := Run(Options{DesignID: "A", Policy: cache.Promotion, Mode: cache.Multicast,
+			Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed})
+		if err != nil {
+			return h, err
+		}
+		meshFast, err := Run(Options{DesignID: "A", Policy: cache.FastLRU, Mode: cache.Multicast,
+			Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed})
+		if err != nil {
+			return h, err
+		}
+		haloFast, err := Run(Options{DesignID: "F", Policy: cache.FastLRU, Mode: cache.Multicast,
+			Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed})
+		if err != nil {
+			return h, err
+		}
+		vsPromo = append(vsPromo, haloFast.IPC/base.IPC)
+		fastGain = append(fastGain, meshFast.IPC/base.IPC)
+		haloGain = append(haloGain, haloFast.IPC/meshFast.IPC)
+	}
+	h.IPCGainVsMeshPromotion = gm(vsPromo)
+	h.FastLRUIPCGain = gm(fastGain)
+	h.HaloIPCGain = gm(haloGain)
+
+	reps := Table4()
+	var aNet, fNet float64
+	for _, r := range reps {
+		switch r.DesignID {
+		case "A":
+			aNet = r.NetworkMM2()
+		case "F":
+			fNet = r.NetworkMM2()
+		}
+	}
+	h.InterconnectAreaRatio = fNet / aNet
+	return h, nil
+}
+
+// EnergyCell is one design's energy estimate (extension experiment: the
+// paper names energy analysis as future work).
+type EnergyCell struct {
+	DesignID string
+	Report   energy.Report
+	IPC      float64
+}
+
+// EnergyComparison estimates the energy of all six designs under
+// multicast Fast-LRU for one benchmark.
+func EnergyComparison(cfg ExpConfig, bench string) ([]EnergyCell, error) {
+	var out []EnergyCell
+	for _, d := range config.Designs() {
+		r, err := Run(Options{
+			DesignID: d.ID, Policy: cache.FastLRU, Mode: cache.Multicast,
+			Benchmark: bench, Accesses: cfg.Accesses, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EnergyCell{DesignID: d.ID, Report: r.Energy, IPC: r.IPC})
+	}
+	return out, nil
+}
+
+// PowerCell is one operating point of the power-gating sweep (extension:
+// the paper's "on-demand power control scheme that can dynamically turn
+// on/off a subset of cache systems").
+type PowerCell struct {
+	WaysOn     int // banks powered per column (rows kept)
+	CapacityKB int
+	IPC        float64
+	HitRate    float64
+	Energy     energy.Report
+}
+
+// PowerGatingSweep gates the farthest banks of every Design A column,
+// shrinking the powered cache from 16 ways down to 2, and measures the
+// performance/energy operating points of the resulting curve: gated banks
+// contribute neither capacity nor network/bank activity.
+func PowerGatingSweep(cfg ExpConfig, bench string) ([]PowerCell, error) {
+	base, err := config.DesignByID("A")
+	if err != nil {
+		return nil, err
+	}
+	var out []PowerCell
+	for _, ways := range []int{16, 12, 8, 4, 2} {
+		d := base
+		d.ID = "A-gated"
+		d.H = ways
+		d.Banks = d.Banks[:ways]
+		d.MemX = d.CoreX // keep the memory column valid for short meshes
+		gated, err := runDesign(d, bench, cfg)
+		if err != nil {
+			return nil, err
+		}
+		gated.WaysOn = ways
+		gated.CapacityKB = d.CapacityKB()
+		out = append(out, gated)
+	}
+	return out, nil
+}
+
+// runDesign runs an ad-hoc design (not in Table 3) with multicast
+// Fast-LRU and collects the power-sweep measurements.
+func runDesign(d config.Design, bench string, cfg ExpConfig) (PowerCell, error) {
+	prof, err := trace.ProfileByName(bench)
+	if err != nil {
+		return PowerCell{}, err
+	}
+	k := sim.NewKernel()
+	sys := cache.New(k, d, cache.FastLRU, cache.Multicast)
+	gen := trace.NewSynthetic(prof, sys.AM, cfg.Seed)
+	sys.Warm(gen.WarmBlocks(d.Ways()))
+	c := cpu.New(k, sys, prof, trace.Take(gen, cfg.Accesses), cpu.DefaultConfig())
+	res, err := c.Run(1 << 40)
+	if err != nil {
+		return PowerCell{}, err
+	}
+	if err := sys.Drain(1 << 30); err != nil {
+		return PowerCell{}, err
+	}
+	memStats := sys.Memory.Stats()
+	erep := energy.DefaultModel().Estimate(energy.Activity{
+		FlitHops:     sys.Net.Stats().Router.FlitsRouted,
+		BankAccesses: sys.BankAccessesBySize(),
+		MemBlocks:    memStats.Reads + memStats.WriteBacks,
+		Accesses:     uint64(cfg.Accesses),
+	})
+	return PowerCell{IPC: res.IPC(), HitRate: sys.Lat.HitRate(), Energy: erep}, nil
+}
+
+// Table2Row reports the generator's self-check against the Table 2
+// profile it models.
+type Table2Row struct {
+	Profile       trace.Profile
+	GenWriteFrac  float64
+	GenAccPerInst float64
+	GenHitRate16  float64 // reference 16-way LRU hit rate of the stream
+}
+
+// Table2Check drives each generator and measures the quantities Table 2
+// pins down plus the modeled hit rate.
+func Table2Check(n int, seed uint64) []Table2Row {
+	am := trace.AddrMap{Columns: 16, Sets: 1024}
+	var out []Table2Row
+	for _, p := range trace.Profiles() {
+		g := trace.NewSynthetic(p, am, seed)
+		ref := cache.NewGolden(cache.LRU, uniformSpecs(16), am.Columns, am.Sets)
+		warm := g.WarmBlocks(16)
+		for set := 0; set < am.Sets; set++ {
+			for c := 0; c < am.Columns; c++ {
+				ref.Warm(c, set, warm[set*am.Columns+c])
+			}
+		}
+		writes, hits := 0, 0
+		var instr int64
+		for i := 0; i < n; i++ {
+			a := g.Next()
+			instr += a.Gap
+			if a.Write {
+				writes++
+			}
+			hit, _, _, _ := ref.Access(am.ColumnOf(a.Addr), am.SetOf(a.Addr), am.TagOf(a.Addr))
+			if hit {
+				hits++
+			}
+		}
+		out = append(out, Table2Row{
+			Profile:       p,
+			GenWriteFrac:  float64(writes) / float64(n),
+			GenAccPerInst: float64(n) / float64(instr),
+			GenHitRate16:  float64(hits) / float64(n),
+		})
+	}
+	return out
+}
+
+func uniformSpecs(n int) []bank.Spec {
+	out := make([]bank.Spec, n)
+	for i := range out {
+		out[i] = bank.Spec{SizeKB: 64, Ways: 1}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"nucanet/internal/trace"
+)
+
+// tiny keeps the full-sweep drivers testable in seconds.
+var tiny = ExpConfig{Accesses: 250, Seed: 7}
+
+func TestFig7Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short")
+	}
+	rows, err := Fig7(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		sum := r.BankPct + r.NetPct + r.MemPct
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("%s: split sums to %.2f", r.Benchmark, sum)
+		}
+	}
+	if rows[0].Benchmark != "applu" {
+		t.Errorf("row order must follow Table 2: got %s first", rows[0].Benchmark)
+	}
+}
+
+func TestFig8Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short")
+	}
+	cells, err := Fig8(ExpConfig{Accesses: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12*5 {
+		t.Fatalf("cells = %d, want 60", len(cells))
+	}
+	for _, c := range cells {
+		if c.AvgLat <= 0 || c.IPC <= 0 {
+			t.Errorf("%s/%s: empty measurement", c.Benchmark, c.Scheme)
+		}
+		if c.OccLat < c.AvgLat {
+			t.Errorf("%s/%s: occupancy %.1f below latency %.1f", c.Benchmark, c.Scheme, c.OccLat, c.AvgLat)
+		}
+	}
+}
+
+func TestFig9Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short")
+	}
+	cells, err := Fig9(ExpConfig{Accesses: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12*6 {
+		t.Fatalf("cells = %d, want 72", len(cells))
+	}
+	for _, c := range cells {
+		if c.DesignID == "A" && c.NormalizedIPC != 1.0 {
+			t.Errorf("%s: design A must normalize to 1, got %v", c.Benchmark, c.NormalizedIPC)
+		}
+		if c.NormalizedIPC <= 0 {
+			t.Errorf("%s/%s: bad normalized IPC", c.Benchmark, c.DesignID)
+		}
+	}
+}
+
+func TestEnergyComparisonDriver(t *testing.T) {
+	cells, err := EnergyComparison(ExpConfig{Accesses: 600, Seed: 7}, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(cells))
+	}
+	var a, f EnergyCell
+	for _, c := range cells {
+		if c.Report.TotalPJ() <= 0 {
+			t.Errorf("%s: no energy accounted", c.DesignID)
+		}
+		switch c.DesignID {
+		case "A":
+			a = c
+		case "F":
+			f = c
+		}
+	}
+	// The halo moves far fewer flit-hops per access than the mesh: its
+	// network energy (and total) must come in below Design A's.
+	if f.Report.NetworkPJ >= a.Report.NetworkPJ {
+		t.Errorf("halo F network energy %.0f not below mesh A %.0f",
+			f.Report.NetworkPJ, a.Report.NetworkPJ)
+	}
+	if f.Report.PerAccessNJ() >= a.Report.PerAccessNJ() {
+		t.Errorf("halo F %.2f nJ/access not below mesh A %.2f",
+			f.Report.PerAccessNJ(), a.Report.PerAccessNJ())
+	}
+}
+
+func TestComputeHeadlineSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short")
+	}
+	h, err := ComputeHeadline(ExpConfig{Accesses: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.IPCGainVsMeshPromotion <= 1.0 {
+		t.Errorf("halo fastLRU vs mesh promotion gain = %.3f, want > 1", h.IPCGainVsMeshPromotion)
+	}
+	if h.FastLRUIPCGain <= 1.0 {
+		t.Errorf("fastLRU vs promotion gain = %.3f, want > 1", h.FastLRUIPCGain)
+	}
+	if h.InterconnectAreaRatio <= 0.1 || h.InterconnectAreaRatio >= 0.4 {
+		t.Errorf("area ratio = %.3f, want ~0.23", h.InterconnectAreaRatio)
+	}
+}
+
+func TestPowerGatingSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short")
+	}
+	cells, err := PowerGatingSweep(ExpConfig{Accesses: 800, Seed: 7}, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 || cells[0].WaysOn != 16 || cells[4].WaysOn != 2 {
+		t.Fatalf("sweep shape wrong: %+v", cells)
+	}
+	for i := 1; i < len(cells); i++ {
+		// Gating banks can only lose capacity, hits and performance.
+		if cells[i].HitRate > cells[i-1].HitRate+0.01 {
+			t.Errorf("hit rate rose when gating: %v -> %v", cells[i-1], cells[i])
+		}
+		if cells[i].IPC > cells[i-1].IPC+0.01 {
+			t.Errorf("IPC rose when gating: %v -> %v", cells[i-1], cells[i])
+		}
+		if cells[i].CapacityKB >= cells[i-1].CapacityKB {
+			t.Error("capacity must shrink")
+		}
+	}
+	// The network+bank energy of a 16-deep column dwarfs a 4-deep one.
+	if cells[3].Energy.NetworkPJ >= cells[0].Energy.NetworkPJ {
+		t.Error("gating must cut network energy")
+	}
+}
+
+func TestTable2CheckCoversAllProfiles(t *testing.T) {
+	rows := Table2Check(5000, 1)
+	names := trace.Names()
+	for i, r := range rows {
+		if r.Profile.Name != names[i] {
+			t.Fatalf("row %d is %s, want %s", i, r.Profile.Name, names[i])
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package cpu
+
+import (
+	"testing"
+
+	"nucanet/internal/bank"
+	"nucanet/internal/cache"
+	"nucanet/internal/config"
+	"nucanet/internal/router"
+	"nucanet/internal/sim"
+	"nucanet/internal/topology"
+	"nucanet/internal/trace"
+)
+
+func testDesign() config.Design {
+	banks := make([]bank.Spec, 4)
+	for i := range banks {
+		banks[i] = bank.Spec{SizeKB: 64, Ways: 1}
+	}
+	return config.Design{
+		ID: "T", Kind: topology.Mesh, W: 4, H: 4, CoreX: 2, MemX: 2,
+		HorizDelay: 1, VertDelay: []int{1},
+		Banks: banks, Router: router.DefaultConfig(),
+	}
+}
+
+func runBench(t *testing.T, name string, n int, seed uint64) (Result, *cache.System) {
+	t.Helper()
+	prof, err := trace.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	sys := cache.New(k, testDesign(), cache.FastLRU, cache.Multicast)
+	gen := trace.NewSynthetic(prof, sys.AM, seed)
+	sys.Warm(gen.WarmBlocks(sys.Design.Ways()))
+	core := New(k, sys, prof, trace.Take(gen, n), DefaultConfig())
+	res, err := core.Run(1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sys
+}
+
+func TestIPCBelowPerfect(t *testing.T) {
+	res, _ := runBench(t, "gcc", 2000, 1)
+	if res.IPC() <= 0 {
+		t.Fatal("IPC must be positive")
+	}
+	if res.IPC() >= res.PerfectIPC {
+		t.Fatalf("IPC %.3f cannot exceed perfect %.3f", res.IPC(), res.PerfectIPC)
+	}
+}
+
+func TestLowAccessRateNearsPerfectIPC(t *testing.T) {
+	// mesa touches L2 every ~333 instructions: stalls barely matter.
+	res, _ := runBench(t, "mesa", 800, 1)
+	if got := res.IPC() / res.PerfectIPC; got < 0.80 {
+		t.Fatalf("mesa IPC/perfect = %.3f, want > 0.80", got)
+	}
+}
+
+func TestHighAccessRateSuffers(t *testing.T) {
+	// mcf touches L2 every ~5.5 instructions with a high miss rate.
+	mesa, _ := runBench(t, "mesa", 800, 1)
+	mcf, _ := runBench(t, "mcf", 2000, 1)
+	if mcf.IPC()/mcf.PerfectIPC >= mesa.IPC()/mesa.PerfectIPC {
+		t.Fatalf("mcf relative IPC (%.3f) should be below mesa's (%.3f)",
+			mcf.IPC()/mcf.PerfectIPC, mesa.IPC()/mesa.PerfectIPC)
+	}
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	prof, _ := trace.ProfileByName("vpr")
+	k := sim.NewKernel()
+	sys := cache.New(k, testDesign(), cache.FastLRU, cache.Multicast)
+	gen := trace.NewSynthetic(prof, sys.AM, 3)
+	sys.Warm(gen.WarmBlocks(sys.Design.Ways()))
+	accs := trace.Take(gen, 500)
+	var wantInstr int64
+	for _, a := range accs {
+		wantInstr += a.Gap
+	}
+	core := New(k, sys, prof, accs, DefaultConfig())
+	res, err := core.Run(1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != wantInstr {
+		t.Fatalf("instructions = %d, want %d", res.Instructions, wantInstr)
+	}
+	if res.Accesses != 500 {
+		t.Fatalf("accesses = %d, want 500", res.Accesses)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("cycles must be positive")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _ := runBench(t, "twolf", 700, 9)
+	b, _ := runBench(t, "twolf", 700, 9)
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestWindowLimitsOverlap(t *testing.T) {
+	// A window of 1 serializes everything; IPC must drop versus 8.
+	prof, _ := trace.ProfileByName("mcf")
+	run := func(window int) float64 {
+		k := sim.NewKernel()
+		sys := cache.New(k, testDesign(), cache.FastLRU, cache.Multicast)
+		gen := trace.NewSynthetic(prof, sys.AM, 4)
+		sys.Warm(gen.WarmBlocks(sys.Design.Ways()))
+		cfg := DefaultConfig()
+		cfg.Window = window
+		core := New(k, sys, prof, trace.Take(gen, 1200), cfg)
+		res, err := core.Run(1_000_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC()
+	}
+	if w1, w8 := run(1), run(8); w1 >= w8 {
+		t.Fatalf("window 1 IPC %.3f should be below window 8 IPC %.3f", w1, w8)
+	}
+}
+
+func TestBlockingProbSlowsCore(t *testing.T) {
+	prof, _ := trace.ProfileByName("art")
+	run := func(p float64) float64 {
+		k := sim.NewKernel()
+		sys := cache.New(k, testDesign(), cache.FastLRU, cache.Multicast)
+		gen := trace.NewSynthetic(prof, sys.AM, 4)
+		sys.Warm(gen.WarmBlocks(sys.Design.Ways()))
+		cfg := DefaultConfig()
+		cfg.BlockingProb = p
+		core := New(k, sys, prof, trace.Take(gen, 1500), cfg)
+		res, err := core.Run(1_000_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC()
+	}
+	if all, none := run(1.0), run(0.0); all >= none {
+		t.Fatalf("fully blocking IPC %.3f should be below non-blocking %.3f", all, none)
+	}
+}
+
+func TestEmptyAccessListPanics(t *testing.T) {
+	prof, _ := trace.ProfileByName("gcc")
+	k := sim.NewKernel()
+	sys := cache.New(k, testDesign(), cache.FastLRU, cache.Multicast)
+	core := New(k, sys, prof, nil, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	core.Start()
+}

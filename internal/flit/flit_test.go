@@ -1,0 +1,90 @@
+package flit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindFlits(t *testing.T) {
+	oneFlit := []Kind{ReadReq, MissNotify, CompleteNotify, WriteDone, MemReadReq}
+	for _, k := range oneFlit {
+		if k.Flits() != 1 {
+			t.Errorf("%v.Flits() = %d, want 1", k, k.Flits())
+		}
+		if k.CarriesBlock() {
+			t.Errorf("%v should not carry a block", k)
+		}
+	}
+	fiveFlit := []Kind{WriteData, ReplaceBlock, BlockToMRU, HitData, MemBlock, DataToCore, WriteBack}
+	for _, k := range fiveFlit {
+		if k.Flits() != BlockFlits {
+			t.Errorf("%v.Flits() = %d, want %d", k, k.Flits(), BlockFlits)
+		}
+		if !k.CarriesBlock() {
+			t.Errorf("%v should carry a block", k)
+		}
+	}
+}
+
+func TestKindStringsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestFlitize(t *testing.T) {
+	p := &Packet{ID: 9, Kind: HitData}
+	fs := Flitize(p)
+	if len(fs) != BlockFlits {
+		t.Fatalf("len = %d, want %d", len(fs), BlockFlits)
+	}
+	if !fs[0].Head || fs[0].Tail {
+		t.Error("first flit must be head only")
+	}
+	if !fs[len(fs)-1].Tail || fs[len(fs)-1].Head {
+		t.Error("last flit must be tail only")
+	}
+	for i, f := range fs {
+		if f.Seq != i {
+			t.Errorf("flit %d has Seq %d", i, f.Seq)
+		}
+		if f.Pkt != p {
+			t.Errorf("flit %d lost packet pointer", i)
+		}
+	}
+}
+
+func TestFlitizeSingle(t *testing.T) {
+	p := &Packet{Kind: ReadReq}
+	fs := Flitize(p)
+	if len(fs) != 1 {
+		t.Fatalf("len = %d, want 1", len(fs))
+	}
+	if !fs[0].Head || !fs[0].Tail {
+		t.Error("single flit must be both head and tail")
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	if ToBank.String() != "bank" || ToCore.String() != "core" || ToMem.String() != "mem" {
+		t.Error("endpoint names wrong")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{ID: 1, Kind: ReadReq, Src: 2, Dst: 3, DstEp: ToBank, Addr: 0x40, PathDeliver: true}
+	s := p.String()
+	for _, want := range []string{"ReadReq", "2->3", "bank", "mcast"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

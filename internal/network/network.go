@@ -1,0 +1,129 @@
+// Package network assembles routers over a topology into a working
+// interconnect: it wires links, registers routers with the simulation
+// kernel, attaches protocol endpoints (banks, the cache controller, the
+// memory controller) to routers, and provides packet injection.
+package network
+
+import (
+	"fmt"
+
+	"nucanet/internal/flit"
+	"nucanet/internal/router"
+	"nucanet/internal/routing"
+	"nucanet/internal/sim"
+	"nucanet/internal/topology"
+)
+
+// Endpoint receives packets ejected at its router.
+type Endpoint interface {
+	Deliver(pkt *flit.Packet, now int64)
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	PacketsInjected  uint64
+	PacketsDelivered uint64
+	FlitsInjected    uint64
+	Router           router.Stats // summed over all routers
+}
+
+// Network owns the routers and endpoint bindings of one interconnect.
+type Network struct {
+	K       *sim.Kernel
+	Topo    *topology.Topology
+	Alg     routing.Algorithm
+	Routers []*router.Router
+
+	eps       [][3]Endpoint // [node][flit.Endpoint]
+	nextPktID uint64
+	injected  uint64
+	delivered uint64
+	flitsInj  uint64
+}
+
+// New builds and wires a network over topo using alg and router config cfg,
+// registering every router with k.
+func New(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg router.Config) *Network {
+	n := &Network{K: k, Topo: topo, Alg: alg}
+	n.Routers = make([]*router.Router, topo.NumNodes())
+	n.eps = make([][3]Endpoint, topo.NumNodes())
+	for id := 0; id < topo.NumNodes(); id++ {
+		n.Routers[id] = router.New(id, topo, alg, cfg, k)
+	}
+	for id := 0; id < topo.NumNodes(); id++ {
+		for p := 0; p < topo.NumPorts(id); p++ {
+			l, ok := topo.Link(id, p)
+			if !ok {
+				continue
+			}
+			n.Routers[id].Wire(p, n.Routers[l.To], l.ToPort, l.Delay)
+		}
+	}
+	for id := 0; id < topo.NumNodes(); id++ {
+		node := id
+		n.Routers[id].SetKernelID(k.Register(n.Routers[id]))
+		n.Routers[id].SetDeliver(func(pkt *flit.Packet, now int64) {
+			n.deliver(node, pkt, now)
+		})
+	}
+	return n
+}
+
+// Attach binds an endpoint to a router for one endpoint class.
+func (n *Network) Attach(node topology.NodeID, which flit.Endpoint, ep Endpoint) {
+	n.eps[node][which] = ep
+}
+
+func (n *Network) deliver(node topology.NodeID, pkt *flit.Packet, now int64) {
+	ep := n.eps[node][pkt.DstEp]
+	if ep == nil {
+		panic(fmt.Sprintf("network: no %v endpoint at node %d for %v", pkt.DstEp, node, pkt))
+	}
+	n.delivered++
+	ep.Deliver(pkt, now)
+}
+
+// Send flitizes and injects a packet at its source router. The packet ID
+// and injection time are stamped here.
+func (n *Network) Send(pkt *flit.Packet, now int64) {
+	n.nextPktID++
+	pkt.ID = n.nextPktID
+	pkt.Injected = now
+	n.injected++
+	n.flitsInj += uint64(pkt.Flits())
+	n.Routers[pkt.Src].Inject(pkt, now)
+}
+
+// NewPacket is a convenience constructor for protocol agents.
+func (n *Network) NewPacket(kind flit.Kind, src, dst topology.NodeID, ep flit.Endpoint, addr uint64) *flit.Packet {
+	return &flit.Packet{Kind: kind, Src: src, Dst: dst, DstEp: ep, Addr: addr}
+}
+
+// InFlight returns the number of flits buffered anywhere in the network.
+// Zero after quiescence — the conservation invariant checked by tests.
+func (n *Network) InFlight() int {
+	total := 0
+	for _, r := range n.Routers {
+		total += r.Occupancy()
+	}
+	return total
+}
+
+// Stats sums per-router counters with the network totals. Delivered counts
+// include multicast replicas (one delivery per bank reached).
+func (n *Network) Stats() Stats {
+	s := Stats{
+		PacketsInjected:  n.injected,
+		PacketsDelivered: n.delivered,
+		FlitsInjected:    n.flitsInj,
+	}
+	for _, r := range n.Routers {
+		rs := r.Stats()
+		s.Router.FlitsRouted += rs.FlitsRouted
+		s.Router.PacketsEjected += rs.PacketsEjected
+		s.Router.ReplicasSpawned += rs.ReplicasSpawned
+		s.Router.ReplicaBlocked += rs.ReplicaBlocked
+		s.Router.CreditStalls += rs.CreditStalls
+	}
+	return s
+}

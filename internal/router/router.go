@@ -1,0 +1,469 @@
+// Package router implements the paper's single-cycle multicasting wormhole
+// router (Section 3.1). Each physical channel (PC) holds several virtual
+// channels (VCs) of small flit buffers with credit-based flow control.
+// Lookahead routing, buffer bypassing, speculative switch allocation and
+// arbitration precomputation are abstracted into a configurable pipeline
+// depth of one cycle: an uncontended flit spends exactly Stages cycles per
+// hop plus the link's wire delay beyond the first cycle.
+//
+// Multicast uses the paper's hybrid replication: when a path-multicast
+// packet must both continue downstream and be delivered to the local bank,
+// the replicator copies the flit into a free VC of a *different* PC of the
+// same router — exploiting underutilized input buffers instead of adding
+// dedicated multicast storage. If no VC is free the forward blocks (the
+// paper observes this is rare; the router counts it).
+package router
+
+import (
+	"fmt"
+
+	"nucanet/internal/flit"
+	"nucanet/internal/routing"
+	"nucanet/internal/sim"
+	"nucanet/internal/topology"
+)
+
+// Config sets the router microarchitecture parameters (Table 1 defaults).
+type Config struct {
+	VCsPerPC int // virtual channels per physical channel (4)
+	BufDepth int // flit buffer depth per VC (4)
+	// Stages is the per-hop router latency in cycles. 1 models the
+	// paper's single-cycle router; larger values model a conventional
+	// pipelined router for ablations.
+	Stages int
+}
+
+// DefaultConfig returns the Table 1 router parameters.
+func DefaultConfig() Config {
+	return Config{VCsPerPC: 4, BufDepth: 4, Stages: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.VCsPerPC <= 0 {
+		c.VCsPerPC = 4
+	}
+	if c.BufDepth <= 0 {
+		c.BufDepth = 4
+	}
+	if c.Stages <= 0 {
+		c.Stages = 1
+	}
+	return c
+}
+
+// Stats counts router activity.
+type Stats struct {
+	FlitsRouted     uint64 // flits granted switch traversal
+	PacketsEjected  uint64
+	ReplicasSpawned uint64 // multicast flit copies placed into stolen VCs
+	ReplicaBlocked  uint64 // cycles a multicast flit stalled with no free VC
+	CreditStalls    uint64 // cycles the switch winner had no downstream credit
+}
+
+const unassigned = -1
+
+// entry is one buffered flit plus the cycle it became available here.
+type entry struct {
+	f       flit.Flit
+	arrived int64
+}
+
+// vcState is one virtual channel of an input port.
+type vcState struct {
+	idx   int // VC index within the port
+	q     []entry
+	route int // assigned output (port index, ejectOut) or unassigned
+	outVC int // downstream VC for neighbor routes
+	// Multicast replication state for the packet at the head.
+	replNeed bool
+	replPort int // input port holding the stolen VC, unassigned if none yet
+	replVC   int
+	replPkt  *flit.Packet
+}
+
+func (v *vcState) resetRoute() {
+	v.route = unassigned
+	v.outVC = unassigned
+	v.replNeed = false
+	v.replPort = unassigned
+	v.replVC = unassigned
+	v.replPkt = nil
+}
+
+// outState tracks the downstream VC pool of one neighbor output port.
+type outState struct {
+	credits []int
+	owner   []*flit.Packet
+}
+
+// Router is one node of the interconnect. Wire one with the network
+// package; it is a sim.Component ticked on active cycles.
+type Router struct {
+	ID   topology.NodeID
+	cfg  Config
+	topo *topology.Topology
+	alg  routing.Algorithm
+	k    *sim.Kernel
+	kid  int
+
+	numPorts int          // neighbor ports (injection is index numPorts)
+	in       [][]*vcState // [port][vc]; last port is injection
+	out      []*outState  // [neighbor port]
+
+	neighbor   []*Router // per out port, nil if no link
+	neighborIn []int     // in-port index at the neighbor
+	linkDelay  []int
+	upstream   []*Router // per in port, nil if none feeds it
+	upstreamOP []int     // upstream's out-port index
+
+	deliver func(*flit.Packet, int64)
+
+	rrOut  []int // round-robin pointer per output (incl. eject)
+	injVC  int   // round-robin injection VC
+	replRR int
+
+	stats Stats
+}
+
+// New creates an unwired router; the network package connects neighbors,
+// sets the deliver callback, and registers it with the kernel.
+func New(id topology.NodeID, topo *topology.Topology, alg routing.Algorithm, cfg Config, k *sim.Kernel) *Router {
+	cfg = cfg.withDefaults()
+	np := topo.NumPorts(id)
+	r := &Router{
+		ID: id, cfg: cfg, topo: topo, alg: alg, k: k,
+		numPorts:   np,
+		neighbor:   make([]*Router, np),
+		neighborIn: make([]int, np),
+		linkDelay:  make([]int, np),
+		upstream:   make([]*Router, np+1),
+		upstreamOP: make([]int, np+1),
+		rrOut:      make([]int, np+1),
+	}
+	r.in = make([][]*vcState, np+1)
+	for p := range r.in {
+		vcs := make([]*vcState, cfg.VCsPerPC)
+		for v := range vcs {
+			vcs[v] = &vcState{idx: v}
+			vcs[v].resetRoute()
+		}
+		r.in[p] = vcs
+	}
+	r.out = make([]*outState, np)
+	for p := range r.out {
+		r.out[p] = &outState{
+			credits: make([]int, cfg.VCsPerPC),
+			owner:   make([]*flit.Packet, cfg.VCsPerPC),
+		}
+		for v := range r.out[p].credits {
+			r.out[p].credits[v] = cfg.BufDepth
+		}
+	}
+	return r
+}
+
+// Wire connects this router's out-port p to neighbor n (entering n's
+// in-port np over a link of the given delay) and records the reverse
+// upstream reference for credit return.
+func (r *Router) Wire(p int, n *Router, np, delay int) {
+	r.neighbor[p] = n
+	r.neighborIn[p] = np
+	r.linkDelay[p] = delay
+	n.upstream[np] = r
+	n.upstreamOP[np] = p
+}
+
+// SetDeliver installs the local ejection callback.
+func (r *Router) SetDeliver(f func(*flit.Packet, int64)) { r.deliver = f }
+
+// SetKernelID records the component id for activations.
+func (r *Router) SetKernelID(id int) { r.kid = id }
+
+// KernelID returns the registered component id.
+func (r *Router) KernelID() int { return r.kid }
+
+// Stats returns a copy of the router's counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// Inject queues a packet's flits at the injection port (called by the
+// network on Send). Injection queues are unbounded: the NI is the source.
+func (r *Router) Inject(p *flit.Packet, now int64) {
+	vcs := r.in[r.numPorts]
+	v := vcs[r.injVC]
+	r.injVC = (r.injVC + 1) % len(vcs)
+	for _, f := range flit.Flitize(p) {
+		v.q = append(v.q, entry{f: f, arrived: now})
+	}
+	r.k.Activate(r.kid)
+}
+
+// Occupancy returns the number of flits buffered in the router (all input
+// VCs including injection).
+func (r *Router) Occupancy() int {
+	n := 0
+	for _, port := range r.in {
+		for _, v := range port {
+			n += len(v.q)
+		}
+	}
+	return n
+}
+
+const ejectOut = 1 << 20 // sentinel route value for local ejection
+
+// Tick performs one router cycle: route computation + VC allocation for
+// head flits, then switch allocation and traversal (one grant per output,
+// at most one flit per input PC — VCs of a PC share a crossbar port).
+func (r *Router) Tick(now int64) bool {
+	// Phase A: routing, VC allocation, multicast replica allocation for
+	// the flit at the front of each VC.
+	for pi, port := range r.in {
+		for _, v := range port {
+			if len(v.q) == 0 {
+				continue
+			}
+			e := v.q[0]
+			if e.arrived+int64(r.cfg.Stages) > now {
+				continue
+			}
+			if e.f.Head && v.route == unassigned {
+				r.assignRoute(v, e.f.Pkt)
+			}
+			if v.route != unassigned && v.route != ejectOut && v.outVC == unassigned {
+				r.allocVC(v, e.f.Pkt)
+			}
+			if v.replNeed && v.replPort == unassigned {
+				r.allocReplica(v, pi)
+			}
+		}
+	}
+
+	// Phase B1: ejection. Each input PC has its own channel into the
+	// local endpoint interface (the NI is as wide as the input side, and
+	// the halo hub's controller exposes one interface per spike), so any
+	// number of ports may eject concurrently — one flit per PC.
+	usedIn := make([]bool, len(r.in))
+	for pi, port := range r.in {
+		for _, v := range port {
+			if len(v.q) == 0 || v.route != ejectOut {
+				continue
+			}
+			if v.q[0].arrived+int64(r.cfg.Stages) > now {
+				continue
+			}
+			usedIn[pi] = true
+			r.traverse(v, pi, 0, true, now)
+			break
+		}
+	}
+
+	// Phase B2: switch allocation for neighbor outputs.
+	for o := 0; o < r.numPorts; o++ {
+		if r.neighbor[o] == nil {
+			continue
+		}
+		v, pi := r.pickWinner(o, usedIn, now)
+		if v == nil {
+			continue
+		}
+		usedIn[pi] = true
+		r.traverse(v, pi, o, false, now)
+	}
+
+	// Stay active while any flit is buffered.
+	for _, port := range r.in {
+		for _, v := range port {
+			if len(v.q) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// assignRoute computes the output for a head flit (lookahead routing is
+// folded into the single-cycle budget) and sets up multicast delivery.
+func (r *Router) assignRoute(v *vcState, pkt *flit.Packet) {
+	if pkt.Dst == r.ID {
+		v.route = ejectOut
+	} else {
+		p, ok := r.alg.NextPort(r.topo, r.ID, pkt.Dst)
+		if !ok || r.neighbor[p] == nil {
+			panic(fmt.Sprintf("router %d: no route for %v (port %d)", r.ID, pkt, p))
+		}
+		v.route = p
+		// Path multicast: deliver a replica to the local bank when this
+		// router lies on the destination column/spike.
+		if pkt.PathDeliver && r.topo.SameColumn(r.ID, pkt.Dst) {
+			v.replNeed = true
+			v.replPkt = &flit.Packet{
+				ID: pkt.ID, Kind: pkt.Kind, Src: pkt.Src, Dst: r.ID,
+				DstEp: flit.ToBank, Addr: pkt.Addr, Payload: pkt.Payload,
+				Injected: pkt.Injected,
+			}
+		}
+	}
+}
+
+// allocVC claims a free downstream VC for the packet.
+func (r *Router) allocVC(v *vcState, pkt *flit.Packet) {
+	o := r.out[v.route]
+	for i := range o.owner {
+		if o.owner[i] == nil {
+			o.owner[i] = pkt
+			v.outVC = i
+			return
+		}
+	}
+}
+
+// allocReplica implements the hybrid replication scheme: steal a free VC
+// of a different PC of this router. Only ports fed by a real link have
+// buffers; a VC is free when its queue is empty, it has no route in
+// progress, and the upstream router is not using it (full credits, no
+// owner). Stealing claims the VC at the upstream to keep credit accounting
+// exact; the claim is released when the replica's tail flit ejects.
+func (r *Router) allocReplica(v *vcState, inPort int) {
+	n := r.numPorts
+	for k := 0; k < n; k++ {
+		p := (r.replRR + k) % n
+		if p == inPort || r.upstream[p] == nil {
+			continue // must be a different, physically present PC
+		}
+		uo := r.upstream[p].out[r.upstreamOP[p]]
+		for _, cand := range r.in[p] {
+			if len(cand.q) != 0 || cand.route != unassigned {
+				continue
+			}
+			if uo.owner[cand.idx] != nil || uo.credits[cand.idx] != r.cfg.BufDepth {
+				continue
+			}
+			uo.owner[cand.idx] = v.replPkt
+			v.replPort = p
+			v.replVC = cand.idx
+			r.replRR = (p + 1) % n
+			return
+		}
+	}
+	r.stats.ReplicaBlocked++
+}
+
+// pickWinner round-robin arbitrates input VCs requesting neighbor output o.
+func (r *Router) pickWinner(o int, usedIn []bool, now int64) (*vcState, int) {
+	nIn := len(r.in)
+	nVC := r.cfg.VCsPerPC
+	total := nIn * nVC
+	start := r.rrOut[o]
+	for k := 0; k < total; k++ {
+		idx := (start + k) % total
+		pi := idx / nVC
+		vi := idx % nVC
+		if usedIn[pi] {
+			continue
+		}
+		v := r.in[pi][vi]
+		if len(v.q) == 0 {
+			continue
+		}
+		e := v.q[0]
+		if e.arrived+int64(r.cfg.Stages) > now {
+			continue
+		}
+		if v.route != o {
+			continue
+		}
+		if v.outVC == unassigned {
+			continue
+		}
+		if r.out[o].credits[v.outVC] <= 0 {
+			r.stats.CreditStalls++
+			continue
+		}
+		if v.replNeed {
+			if v.replPort == unassigned {
+				continue // replication blocked: hold the flit
+			}
+			if len(r.in[v.replPort][v.replVC].q) >= r.cfg.BufDepth {
+				continue // stolen VC momentarily full
+			}
+		}
+		r.rrOut[o] = (idx + 1) % total
+		return v, pi
+	}
+	return nil, 0
+}
+
+// traverse moves the winning flit through the crossbar: to the neighbor's
+// input buffer or to local ejection, spawning the multicast replica and
+// returning the drained slot's credit upstream.
+func (r *Router) traverse(v *vcState, pi, o int, isEject bool, now int64) {
+	e := v.q[0]
+	v.q = v.q[1:]
+	r.stats.FlitsRouted++
+
+	// Credit return for the drained slot (visible next cycle).
+	if up := r.upstream[pi]; up != nil {
+		uo := up.out[r.upstreamOP[pi]]
+		vcIdx := v.idx
+		r.k.Defer(func() { uo.credits[vcIdx]++ })
+		r.k.Activate(up.kid)
+	}
+
+	// Multicast replica: copy the flit into the stolen VC. The slot is
+	// charged against the upstream's credits for that VC so the stolen
+	// buffer space stays consistent; the drain path returns it.
+	if v.replNeed && v.replPort != unassigned {
+		rf := e.f
+		rf.Pkt = v.replPkt
+		r.in[v.replPort][v.replVC].q = append(r.in[v.replPort][v.replVC].q,
+			entry{f: rf, arrived: now})
+		up := r.upstream[v.replPort]
+		up.out[r.upstreamOP[v.replPort]].credits[v.replVC]--
+		r.stats.ReplicasSpawned++
+		r.k.Activate(r.kid)
+		if e.f.Tail {
+			// Replica complete; upstream claim is released when the
+			// replica's tail ejects (see below).
+			v.replNeed = false
+		}
+	}
+
+	if isEject {
+		pkt := e.f.Pkt
+		if e.f.Head {
+			// Cut-through endpoint interface: the endpoint starts
+			// processing at head arrival; body flits drain behind it
+			// (they still hold buffers and links until ejected).
+			pkt.Delivered = now
+			r.stats.PacketsEjected++
+			if r.deliver == nil {
+				panic(fmt.Sprintf("router %d: ejection with no endpoint for %v", r.ID, pkt))
+			}
+			r.deliver(pkt, now)
+		}
+		if e.f.Tail {
+			// Release an upstream claim made for a stolen (replica) VC:
+			// the replica packet owns the upstream out-VC entry.
+			if up := r.upstream[pi]; up != nil {
+				uo := up.out[r.upstreamOP[pi]]
+				if uo.owner[v.idx] == pkt {
+					uo.owner[v.idx] = nil
+				}
+			}
+			v.resetRoute()
+		}
+		return
+	}
+
+	n := r.neighbor[o]
+	out := r.out[o]
+	out.credits[v.outVC]--
+	dst := n.in[r.neighborIn[o]][v.outVC]
+	arr := now + int64(r.linkDelay[o]-1)
+	dst.q = append(dst.q, entry{f: e.f, arrived: arr})
+	r.k.Activate(n.kid)
+	if e.f.Tail {
+		out.owner[v.outVC] = nil
+		v.resetRoute()
+	}
+}

@@ -1,0 +1,50 @@
+package routing
+
+import (
+	"fmt"
+
+	"nucanet/internal/topology"
+)
+
+// ChannelRank assigns the directed link leaving node `from` through `port`
+// a unique rank such that every XYX route follows strictly increasing
+// ranks — the total channel order that makes XYX deadlock-free (the
+// generalization of the paper's Figure 5(b) enumeration to any mesh size).
+//
+// Rank classes, low to high:
+//
+//	Y- channels (toward row 0): within a column, rank grows upward.
+//	Row-0 X channels: eastbound ranks grow eastward, westbound westward.
+//	Y+ channels (away from row 0): within a column, rank grows downward.
+//
+// An upward route (Y- then X in row 0) and a downward route (X in row 0
+// then Y+) both climb the order; no cyclic channel dependency can form.
+func ChannelRank(t *topology.Topology, from topology.NodeID, port int) (int, error) {
+	if t.Kind != topology.SimplifiedMesh && t.Kind != topology.Mesh {
+		return 0, fmt.Errorf("routing: ChannelRank needs a mesh, got %v", t.Kind)
+	}
+	n := t.Nodes[from]
+	w, h := t.W, t.H
+	baseX := w * h           // after all Y- ranks
+	baseYPlus := baseX + 2*w // after all row-0 X ranks
+	switch port {
+	case topology.PortNorth: // Y-: (x,y) -> (x,y-1)
+		if n.Y == 0 {
+			return 0, fmt.Errorf("routing: no Y- channel leaving row 0")
+		}
+		return n.X*h + (h - n.Y), nil
+	case topology.PortEast:
+		if n.Y != 0 {
+			return 0, fmt.Errorf("routing: X channel outside row 0 at (%d,%d)", n.X, n.Y)
+		}
+		return baseX + n.X, nil
+	case topology.PortWest:
+		if n.Y != 0 {
+			return 0, fmt.Errorf("routing: X channel outside row 0 at (%d,%d)", n.X, n.Y)
+		}
+		return baseX + w + (w - 1 - n.X), nil
+	case topology.PortSouth: // Y+: (x,y) -> (x,y+1)
+		return baseYPlus + n.X*h + n.Y, nil
+	}
+	return 0, fmt.Errorf("routing: unknown port %d", port)
+}

@@ -1,0 +1,157 @@
+// Package routing implements the routing algorithms of the paper: standard
+// dimension-ordered XY for the full mesh, the deadlock-free XYX algorithm
+// of Figure 5 for simplified meshes (horizontal links only in the core
+// row), and spike routing for halo networks.
+//
+// XYX deadlock freedom is established constructively: ChannelRank assigns
+// every directed link a rank in a total order, and every XYX route follows
+// strictly increasing ranks (property-tested for all source/destination
+// pairs). The order is: all Y- (toward the core row) channels, then the
+// row-0 X channels, then all Y+ channels; within a class, ranks grow in
+// the direction of travel.
+package routing
+
+import (
+	"fmt"
+
+	"nucanet/internal/topology"
+)
+
+// Algorithm computes, hop by hop, the output port toward a destination.
+// Implementations are stateless and safe for concurrent use.
+type Algorithm interface {
+	Name() string
+	// NextPort returns the output port at cur on the route to dst.
+	// ok is false if dst is unreachable from cur under this algorithm
+	// (or cur == dst, which has no next hop).
+	NextPort(t *topology.Topology, cur, dst topology.NodeID) (port int, ok bool)
+}
+
+// XY is dimension-ordered routing: X to the destination column, then Y.
+// Deadlock-free on full meshes.
+type XY struct{}
+
+func (XY) Name() string { return "XY" }
+
+func (XY) NextPort(t *topology.Topology, cur, dst topology.NodeID) (int, bool) {
+	a, b := t.Nodes[cur], t.Nodes[dst]
+	switch {
+	case a.X < b.X:
+		return topology.PortEast, true
+	case a.X > b.X:
+		return topology.PortWest, true
+	case a.Y < b.Y:
+		return topology.PortSouth, true
+	case a.Y > b.Y:
+		return topology.PortNorth, true
+	}
+	return 0, false
+}
+
+// XYX is the paper's Figure 5 algorithm for simplified meshes: downward
+// traffic routes X first (in row 0, the only row with horizontal links)
+// then Y+; upward traffic routes Y- first, reaching row 0 before moving
+// in X. Deadlock-free by the channel enumeration in ChannelRank.
+type XYX struct{}
+
+func (XYX) Name() string { return "XYX" }
+
+func (XYX) NextPort(t *topology.Topology, cur, dst topology.NodeID) (int, bool) {
+	a, b := t.Nodes[cur], t.Nodes[dst]
+	xoff := b.X - a.X
+	yoff := b.Y - a.Y
+	if yoff >= 0 {
+		switch {
+		case xoff > 0:
+			return topology.PortEast, true
+		case xoff < 0:
+			return topology.PortWest, true
+		case yoff > 0:
+			return topology.PortSouth, true
+		}
+		return 0, false // cur == dst
+	}
+	return topology.PortNorth, true
+}
+
+// Spike routes on halo networks: everything funnels through the hub.
+type Spike struct{}
+
+func (Spike) Name() string { return "Spike" }
+
+func (Spike) NextPort(t *topology.Topology, cur, dst topology.NodeID) (int, bool) {
+	if cur == dst {
+		return 0, false
+	}
+	hub := t.Hub()
+	if cur == hub {
+		// Port s leads to spike s; dst.X is its spike.
+		return t.Nodes[dst].X, true
+	}
+	a, b := t.Nodes[cur], t.Nodes[dst]
+	if dst == hub || a.X != b.X || b.Y < a.Y {
+		return topology.PortUp, true
+	}
+	return topology.PortDown, true
+}
+
+// ForKind returns the natural algorithm for a topology kind: XY for full
+// and minimal meshes, XYX for simplified meshes, Spike for halos.
+func ForKind(k topology.Kind) Algorithm {
+	switch k {
+	case topology.Mesh, topology.MinimalMesh:
+		return XY{}
+	case topology.SimplifiedMesh:
+		return XYX{}
+	case topology.Halo:
+		return Spike{}
+	}
+	panic(fmt.Sprintf("routing: no algorithm for %v", k))
+}
+
+// Hop is one step of a walked route.
+type Hop struct {
+	From topology.NodeID
+	Port int
+	To   topology.NodeID
+}
+
+// Walk traces the route from src to dst under alg, validating that every
+// hop uses an existing link. It errors if the route exceeds maxHops or
+// uses a missing link — the test harness for topology/routing agreement.
+func Walk(t *topology.Topology, alg Algorithm, src, dst topology.NodeID, maxHops int) ([]Hop, error) {
+	var hops []Hop
+	cur := src
+	for cur != dst {
+		if len(hops) >= maxHops {
+			return nil, fmt.Errorf("routing: %s route %d->%d exceeds %d hops", alg.Name(), src, dst, maxHops)
+		}
+		p, ok := alg.NextPort(t, cur, dst)
+		if !ok {
+			return nil, fmt.Errorf("routing: %s has no route %d->%d at %d", alg.Name(), src, dst, cur)
+		}
+		l, ok := t.Link(cur, p)
+		if !ok {
+			return nil, fmt.Errorf("routing: %s route %d->%d uses missing link at node %d port %d",
+				alg.Name(), src, dst, cur, p)
+		}
+		hops = append(hops, Hop{From: cur, Port: p, To: l.To})
+		cur = l.To
+	}
+	return hops, nil
+}
+
+// PathLatency sums the wire delays along the route from src to dst, the
+// zero-load network latency in cycles.
+func PathLatency(t *topology.Topology, alg Algorithm, src, dst topology.NodeID) (int, error) {
+	hops, err := Walk(t, alg, src, dst, t.NumNodes())
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, h := range hops {
+		l, _ := t.Link(h.From, h.Port)
+		total += l.Delay
+	}
+	return total, nil
+}

@@ -1,0 +1,180 @@
+// Package sim provides a deterministic, activity-driven cycle simulation
+// kernel. Components register with a Kernel and are ticked only on cycles
+// where they have work; cycles with no active component are skipped by
+// jumping the clock to the next scheduled event. This keeps long memory
+// latencies (hundreds of idle cycles) free.
+//
+// Determinism: components are ticked in ascending registration order, flits
+// carry arrival stamps so a flit moves at most one hop per cycle regardless
+// of tick order, and all randomness flows from the seeded RNG in this
+// package.
+package sim
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Component is anything the kernel can tick once per active cycle.
+// Tick returns true if the component wants to be ticked on the next cycle
+// as well (it still has queued work); returning false parks it until it is
+// re-activated by an event or by another component.
+type Component interface {
+	Tick(now int64) bool
+}
+
+// event wakes a component at a fixed future cycle.
+type event struct {
+	at  int64
+	seq int // tie-break for determinism
+	id  int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h eventHeap) peek() (int64, bool) { // earliest event time
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Kernel drives registered components cycle by cycle.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now     int64
+	comps   []Component
+	pending []bool // comps scheduled for the next cycle
+	next    []int  // ids scheduled for the next cycle (unsorted)
+	events  eventHeap
+	defers  []func()
+	seq     int
+	ticks   uint64
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Register adds a component and returns its id. Ids order ticking within a
+// cycle; register in a stable order for reproducible runs.
+func (k *Kernel) Register(c Component) int {
+	id := len(k.comps)
+	k.comps = append(k.comps, c)
+	k.pending = append(k.pending, false)
+	return id
+}
+
+// Now returns the current cycle.
+func (k *Kernel) Now() int64 { return k.now }
+
+// Ticks returns the total number of component ticks executed, a measure of
+// simulation work (not wall time).
+func (k *Kernel) Ticks() uint64 { return k.ticks }
+
+// Activate schedules component id to tick on the next cycle. Safe to call
+// from inside a Tick. Duplicate activations coalesce.
+func (k *Kernel) Activate(id int) {
+	if !k.pending[id] {
+		k.pending[id] = true
+		k.next = append(k.next, id)
+	}
+}
+
+// WakeAt schedules component id to tick at cycle t. If t is not in the
+// future the component is activated for the next cycle instead.
+func (k *Kernel) WakeAt(t int64, id int) {
+	if t <= k.now {
+		k.Activate(id)
+		return
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, id: id})
+}
+
+// Defer runs f after all components have ticked in the current cycle.
+// Used to commit state (e.g. returned credits) that must only become
+// visible on the following cycle.
+func (k *Kernel) Defer(f func()) {
+	k.defers = append(k.defers, f)
+}
+
+// Idle reports whether no component is scheduled and no event is pending.
+func (k *Kernel) Idle() bool {
+	return len(k.next) == 0 && len(k.events) == 0
+}
+
+// Step advances the clock to the next cycle with work and ticks every
+// scheduled component in id order. It returns false when the kernel is
+// idle (nothing will ever run again without external scheduling).
+func (k *Kernel) Step() bool {
+	if k.Idle() {
+		return false
+	}
+	// Decide the next cycle: now+1 if anything is scheduled for it,
+	// otherwise jump to the earliest event.
+	target := k.now + 1
+	if len(k.next) == 0 {
+		if t, ok := k.events.peek(); ok {
+			target = t
+		}
+	}
+	k.now = target
+
+	cur := k.next
+	k.next = nil
+	for _, id := range cur {
+		k.pending[id] = false
+	}
+	// Pull in events due now.
+	for len(k.events) > 0 && k.events[0].at <= k.now {
+		ev := heap.Pop(&k.events).(event)
+		if !k.pending[ev.id] {
+			cur = append(cur, ev.id)
+		}
+	}
+	sort.Ints(cur)
+	prev := -1
+	for _, id := range cur {
+		if id == prev { // dedupe (event + activation overlap)
+			continue
+		}
+		prev = id
+		k.ticks++
+		if k.comps[id].Tick(k.now) {
+			k.Activate(id)
+		}
+	}
+	if len(k.defers) > 0 {
+		for _, f := range k.defers {
+			f()
+		}
+		k.defers = k.defers[:0]
+	}
+	return true
+}
+
+// Run steps until the kernel is idle or maxCycles cycles have elapsed.
+// It returns the number of cycles simulated and whether the kernel went
+// idle (false means the budget was exhausted first).
+func (k *Kernel) Run(maxCycles int64) (cycles int64, idle bool) {
+	start := k.now
+	limit := start + maxCycles
+	for k.now < limit {
+		if !k.Step() {
+			return k.now - start, true
+		}
+	}
+	return k.now - start, false
+}

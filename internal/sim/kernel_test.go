@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// counter ticks n times then parks.
+type counter struct {
+	k     *Kernel
+	id    int
+	left  int
+	ticks []int64
+}
+
+func (c *counter) Tick(now int64) bool {
+	c.ticks = append(c.ticks, now)
+	c.left--
+	return c.left > 0
+}
+
+func TestKernelTicksInOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	mk := func(tag int) int {
+		c := &fnComp{f: func(now int64) bool {
+			order = append(order, tag)
+			return false
+		}}
+		return k.Register(c)
+	}
+	a := mk(0)
+	b := mk(1)
+	c := mk(2)
+	// Activate out of order; ticks must happen in id order.
+	k.Activate(c)
+	k.Activate(a)
+	k.Activate(b)
+	if !k.Step() {
+		t.Fatal("expected a step")
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("tick order = %v, want [0 1 2]", order)
+	}
+	if got := k.Now(); got != 1 {
+		t.Fatalf("Now = %d, want 1", got)
+	}
+}
+
+type fnComp struct{ f func(int64) bool }
+
+func (c *fnComp) Tick(now int64) bool { return c.f(now) }
+
+func TestKernelSelfReschedule(t *testing.T) {
+	k := NewKernel()
+	c := &counter{left: 5}
+	c.id = k.Register(c)
+	k.Activate(c.id)
+	cycles, idle := k.Run(100)
+	if !idle {
+		t.Fatal("kernel should go idle")
+	}
+	if cycles != 5 {
+		t.Fatalf("cycles = %d, want 5", cycles)
+	}
+	want := []int64{1, 2, 3, 4, 5}
+	for i, w := range want {
+		if c.ticks[i] != w {
+			t.Fatalf("ticks = %v, want %v", c.ticks, want)
+		}
+	}
+}
+
+func TestKernelTimeSkip(t *testing.T) {
+	k := NewKernel()
+	c := &counter{left: 1}
+	c.id = k.Register(c)
+	k.WakeAt(1000, c.id)
+	if !k.Step() {
+		t.Fatal("expected a step")
+	}
+	if k.Now() != 1000 {
+		t.Fatalf("Now = %d, want 1000 (time skip)", k.Now())
+	}
+	if len(c.ticks) != 1 || c.ticks[0] != 1000 {
+		t.Fatalf("ticks = %v, want [1000]", c.ticks)
+	}
+	if k.Step() {
+		t.Fatal("kernel should be idle after the only event")
+	}
+}
+
+func TestKernelWakeAtPastActivatesNext(t *testing.T) {
+	k := NewKernel()
+	c := &counter{left: 1}
+	c.id = k.Register(c)
+	k.Activate(c.id)
+	k.Step() // now = 1
+	k.WakeAt(0, c.id)
+	c.left = 1
+	if !k.Step() {
+		t.Fatal("expected a step")
+	}
+	if k.Now() != 2 {
+		t.Fatalf("Now = %d, want 2", k.Now())
+	}
+}
+
+func TestKernelDuplicateActivationCoalesces(t *testing.T) {
+	k := NewKernel()
+	c := &counter{left: 10}
+	c.id = k.Register(c)
+	k.Activate(c.id)
+	k.Activate(c.id)
+	k.WakeAt(1, c.id)
+	k.Step()
+	if len(c.ticks) != 1 {
+		t.Fatalf("component ticked %d times in one cycle, want 1", len(c.ticks))
+	}
+}
+
+func TestKernelDeferRunsAfterTicks(t *testing.T) {
+	k := NewKernel()
+	var log []string
+	a := k.Register(&fnComp{f: func(now int64) bool {
+		log = append(log, "tick-a")
+		k.Defer(func() { log = append(log, "defer-a") })
+		return false
+	}})
+	b := k.Register(&fnComp{f: func(now int64) bool {
+		log = append(log, "tick-b")
+		return false
+	}})
+	k.Activate(a)
+	k.Activate(b)
+	k.Step()
+	want := []string{"tick-a", "tick-b", "defer-a"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestKernelEventOrderingStable(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 8; i++ {
+		tag := i
+		id := k.Register(&fnComp{f: func(now int64) bool {
+			order = append(order, tag)
+			return false
+		}})
+		k.WakeAt(7, id)
+	}
+	k.Step()
+	for i := 0; i < 8; i++ {
+		if order[i] != i {
+			t.Fatalf("same-cycle events out of id order: %v", order)
+		}
+	}
+}
+
+func TestKernelRunBudget(t *testing.T) {
+	k := NewKernel()
+	c := &counter{left: 1 << 30}
+	c.id = k.Register(c)
+	k.Activate(c.id)
+	cycles, idle := k.Run(50)
+	if idle {
+		t.Fatal("should not go idle")
+	}
+	if cycles != 50 {
+		t.Fatalf("cycles = %d, want 50", cycles)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		m := int(n%100) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGForkIndependent(t *testing.T) {
+	r := NewRNG(1)
+	f1 := r.Fork()
+	r2 := NewRNG(1)
+	_ = r2.Fork()
+	// After forking, the parents must continue identically.
+	if r.Uint64() != r2.Uint64() {
+		t.Fatal("fork must not desync the parent beyond the fork draw")
+	}
+	_ = f1
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

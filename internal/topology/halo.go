@@ -1,0 +1,92 @@
+package topology
+
+import "fmt"
+
+// HaloSpec configures a halo network (Figure 6(c)/(d)).
+type HaloSpec struct {
+	Spikes int
+	Length int // banks per spike
+	// LinkDelay[p] is the wire delay of the link entering spike position
+	// p (LinkDelay[0] connects the hub to the MRU bank). nil means 1
+	// cycle everywhere; a single element is broadcast.
+	LinkDelay []int
+	// MemWireDelay is the extra per-direction wire delay to off-chip
+	// memory (the memory controller sits at the die centre): 16 cycles
+	// in Design E, 9 in Design F.
+	MemWireDelay int
+}
+
+func (s *HaloSpec) delay(p int) int {
+	switch {
+	case len(s.LinkDelay) == 0:
+		return 1
+	case len(s.LinkDelay) == 1:
+		return s.LinkDelay[0]
+	default:
+		return s.LinkDelay[p]
+	}
+}
+
+// NewHalo builds a halo: a hub router (hosting the core and the memory
+// controller) with one port per spike, and each spike a chain of
+// bank-bearing routers. Every MRU bank is exactly one hop from the hub,
+// which is the topology's defining property.
+func NewHalo(spec HaloSpec) *Topology {
+	if spec.Spikes < 1 || spec.Length < 1 {
+		panic(fmt.Sprintf("topology: bad halo %dx%d", spec.Spikes, spec.Length))
+	}
+	t := &Topology{Kind: Halo, W: spec.Spikes, H: spec.Length, MemWireDelay: spec.MemWireDelay}
+	n := 1 + spec.Spikes*spec.Length
+	t.Nodes = make([]Node, n)
+	t.Ports = make([][]PortLink, n)
+
+	// Node 0 is the hub; it has no bank.
+	hub := 0
+	t.Nodes[hub] = Node{ID: hub, X: -1, Y: -1, Bank: -1}
+	hubPorts := make([]PortLink, spec.Spikes)
+	for p := range hubPorts {
+		hubPorts[p].To = NoLink
+	}
+	t.Ports[hub] = hubPorts
+
+	t.nodeAt = make([][]NodeID, spec.Length)
+	for p := 0; p < spec.Length; p++ {
+		t.nodeAt[p] = make([]NodeID, spec.Spikes)
+	}
+	t.columns = make([][]NodeID, spec.Spikes)
+	bank := 0
+	for s := 0; s < spec.Spikes; s++ {
+		col := make([]NodeID, spec.Length)
+		for p := 0; p < spec.Length; p++ {
+			id := 1 + s*spec.Length + p
+			t.Nodes[id] = Node{ID: id, X: s, Y: p, Bank: bank}
+			bank++
+			ports := make([]PortLink, 2)
+			ports[PortUp].To = NoLink
+			ports[PortDown].To = NoLink
+			t.Ports[id] = ports
+			t.nodeAt[p][s] = id
+			col[p] = id
+		}
+		t.columns[s] = col
+		// Hub to spike head.
+		t.Ports[hub][s] = PortLink{To: col[0], ToPort: PortUp, Delay: spec.delay(0)}
+		t.Ports[col[0]][PortUp] = PortLink{To: hub, ToPort: s, Delay: spec.delay(0)}
+		// Chain down the spike.
+		for p := 1; p < spec.Length; p++ {
+			t.connect(col[p-1], PortDown, col[p], PortUp, spec.delay(p))
+		}
+	}
+	t.banks = bank
+	t.Core = hub
+	t.Mem = hub
+	return t
+}
+
+// Hub returns the hub node of a halo.
+func (t *Topology) Hub() NodeID {
+	if t.Kind != Halo {
+		panic("topology: Hub on non-halo")
+	}
+	return 0
+}

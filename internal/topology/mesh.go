@@ -1,0 +1,150 @@
+package topology
+
+import "fmt"
+
+// MeshSpec configures a mesh-family topology.
+type MeshSpec struct {
+	W, H int
+	// HorizDelay is the wire delay of horizontal links (cycles).
+	HorizDelay int
+	// VertDelay[y] is the wire delay of the vertical link between row
+	// y-1 and row y (VertDelay[0] is unused). A nil slice means delay 1
+	// everywhere; a single-element slice is broadcast.
+	VertDelay []int
+	// CoreX and MemX are the columns of the core (top row) and the
+	// memory controller (bottom row). MemAtCore attaches the memory
+	// controller to the core router instead (Designs B-D move it there).
+	CoreX, MemX int
+	MemAtCore   bool
+}
+
+func (s *MeshSpec) vdelay(y int) int {
+	switch {
+	case len(s.VertDelay) == 0:
+		return 1
+	case len(s.VertDelay) == 1:
+		return s.VertDelay[0]
+	default:
+		return s.VertDelay[y]
+	}
+}
+
+func (s *MeshSpec) hdelay() int {
+	if s.HorizDelay <= 0 {
+		return 1
+	}
+	return s.HorizDelay
+}
+
+// NewMesh builds a full 2D mesh (Design A): bidirectional links between all
+// neighbors. The core injects at (CoreX, 0) and the memory at (MemX, H-1)
+// unless MemAtCore.
+func NewMesh(spec MeshSpec) *Topology {
+	t := meshBase(Mesh, spec)
+	for y := 0; y < spec.H; y++ {
+		for x := 0; x+1 < spec.W; x++ {
+			t.connect(t.NodeAt(x, y), PortEast, t.NodeAt(x+1, y), PortWest, spec.hdelay())
+		}
+	}
+	return t
+}
+
+// NewSimplifiedMesh builds the Design B-D topology (Figure 6(b)):
+// horizontal links only in row 0; everything else travels vertically.
+// Requires XYX routing; the memory controller moves next to the core.
+func NewSimplifiedMesh(spec MeshSpec) *Topology {
+	spec.MemAtCore = true
+	t := meshBase(SimplifiedMesh, spec)
+	for x := 0; x+1 < spec.W; x++ {
+		t.connect(t.NodeAt(x, 0), PortEast, t.NodeAt(x+1, 0), PortWest, spec.hdelay())
+	}
+	return t
+}
+
+// NewMinimalMesh builds Figure 4(b): full horizontal links in the first and
+// last rows and between the core and memory columns; in middle rows only
+// unidirectional horizontal links pointing toward the core column (used by
+// replies under XY routing). Removes (n-2)^2 of the 4(n-1)^2 mesh links.
+func NewMinimalMesh(spec MeshSpec) *Topology {
+	t := meshBase(MinimalMesh, spec)
+	hd := spec.hdelay()
+	for y := 0; y < spec.H; y++ {
+		for x := 0; x+1 < spec.W; x++ {
+			a, b := t.NodeAt(x, y), t.NodeAt(x+1, y)
+			switch {
+			case y == 0 || y == spec.H-1:
+				t.connect(a, PortEast, b, PortWest, hd)
+			case (x >= spec.CoreX && x+1 <= spec.MemX) || (x >= spec.MemX && x+1 <= spec.CoreX):
+				// Between the core-attached and memory-attached columns.
+				t.connect(a, PortEast, b, PortWest, hd)
+			case x+1 <= spec.CoreX:
+				// West of the core column: eastbound only (toward core).
+				t.oneWay(a, PortEast, b, PortWest, hd)
+			case x >= spec.CoreX:
+				// East of the core column: westbound only (toward core).
+				t.oneWay(b, PortWest, a, PortEast, hd)
+			}
+		}
+	}
+	return t
+}
+
+// meshBase creates nodes, vertical links, columns, and endpoints shared by
+// all mesh variants.
+func meshBase(kind Kind, spec MeshSpec) *Topology {
+	if spec.W < 1 || spec.H < 1 {
+		panic(fmt.Sprintf("topology: bad mesh %dx%d", spec.W, spec.H))
+	}
+	if spec.CoreX < 0 || spec.CoreX >= spec.W || spec.MemX < 0 || spec.MemX >= spec.W {
+		panic("topology: core/mem column out of range")
+	}
+	n := spec.W * spec.H
+	t := &Topology{Kind: kind, W: spec.W, H: spec.H}
+	t.Nodes = make([]Node, n)
+	t.Ports = make([][]PortLink, n)
+	t.nodeAt = make([][]NodeID, spec.H)
+	for y := 0; y < spec.H; y++ {
+		t.nodeAt[y] = make([]NodeID, spec.W)
+		for x := 0; x < spec.W; x++ {
+			id := y*spec.W + x
+			t.Nodes[id] = Node{ID: id, X: x, Y: y, Bank: id}
+			ports := make([]PortLink, 4)
+			for p := range ports {
+				ports[p].To = NoLink
+			}
+			t.Ports[id] = ports
+			t.nodeAt[y][x] = id
+		}
+	}
+	t.banks = n
+	for y := 1; y < spec.H; y++ {
+		d := spec.vdelay(y)
+		for x := 0; x < spec.W; x++ {
+			t.connect(t.NodeAt(x, y-1), PortSouth, t.NodeAt(x, y), PortNorth, d)
+		}
+	}
+	t.columns = make([][]NodeID, spec.W)
+	for x := 0; x < spec.W; x++ {
+		col := make([]NodeID, spec.H)
+		for y := 0; y < spec.H; y++ {
+			col[y] = t.NodeAt(x, y)
+		}
+		t.columns[x] = col
+	}
+	t.Core = t.NodeAt(spec.CoreX, 0)
+	if spec.MemAtCore {
+		t.Mem = t.Core
+	} else {
+		t.Mem = t.NodeAt(spec.MemX, spec.H-1)
+	}
+	return t
+}
+
+func (t *Topology) connect(a NodeID, ap int, b NodeID, bp int, delay int) {
+	t.Ports[a][ap] = PortLink{To: b, ToPort: bp, Delay: delay}
+	t.Ports[b][bp] = PortLink{To: a, ToPort: ap, Delay: delay}
+}
+
+func (t *Topology) oneWay(a NodeID, ap int, b NodeID, bp int, delay int) {
+	t.Ports[a][ap] = PortLink{To: b, ToPort: bp, Delay: delay}
+}

@@ -1,0 +1,202 @@
+// Package topology builds the interconnect graphs evaluated in the paper:
+// the full 2D mesh (Design A), the simplified mesh with horizontal links
+// only in the core row (Designs B, C, D), the minimal-link mesh of
+// Figure 4(b), and the halo network (Designs E, F) where every MRU bank is
+// one hop from the hub.
+//
+// A topology is a set of router nodes connected by directed port-to-port
+// links, each with a wire delay in cycles. Every bank-bearing node hosts
+// one cache bank; the core (cache controller) and the memory controller
+// attach to designated routers as local endpoints.
+package topology
+
+import "fmt"
+
+// NodeID identifies a router.
+type NodeID = int
+
+// Kind tags the topology family; routing algorithms dispatch on it.
+type Kind uint8
+
+const (
+	// Mesh is a full 2D mesh (Design A).
+	Mesh Kind = iota
+	// SimplifiedMesh keeps horizontal links only in row 0 (Designs B-D,
+	// Figure 6(b)); it requires XYX routing.
+	SimplifiedMesh
+	// MinimalMesh is Figure 4(b): full horizontal links in the first and
+	// last rows and in the core/memory columns; unidirectional
+	// horizontal links toward the core column elsewhere.
+	MinimalMesh
+	// Halo is the hub-and-spike network of Figure 6(c)/(d) (Designs E, F).
+	Halo
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Mesh:
+		return "mesh"
+	case SimplifiedMesh:
+		return "simplified-mesh"
+	case MinimalMesh:
+		return "minimal-mesh"
+	case Halo:
+		return "halo"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Mesh port numbers. Halo uses PortUp/PortDown on spike nodes and one port
+// per spike on the hub.
+const (
+	PortEast  = 0 // X+
+	PortWest  = 1 // X-
+	PortSouth = 2 // Y+ (away from the core row)
+	PortNorth = 3 // Y- (toward the core row)
+
+	PortUp   = 0 // halo spike: toward the hub
+	PortDown = 1 // halo spike: away from the hub
+)
+
+// NoLink marks an absent port.
+const NoLink = -1
+
+// PortLink is one directed link leaving a node.
+type PortLink struct {
+	To     NodeID
+	ToPort int
+	Delay  int // wire traversal cycles (>= 1)
+}
+
+// Node is one router.
+type Node struct {
+	ID NodeID
+	// X, Y locate the node: mesh coordinates, or (spike, position) on a
+	// halo. The halo hub has X = -1, Y = -1.
+	X, Y int
+	// Bank is the index of the cache bank at this router, or -1.
+	Bank int
+}
+
+// Topology is an immutable interconnect graph.
+type Topology struct {
+	Kind  Kind
+	W, H  int // mesh width/height, or halo (#spikes, spike length)
+	Nodes []Node
+	// Ports[n][p] describes the link leaving node n through port p.
+	Ports [][]PortLink
+	// Core and Mem are the routers hosting the cache controller and the
+	// memory controller endpoints.
+	Core, Mem NodeID
+	// MemWireDelay is the extra wire delay (cycles, each way) between the
+	// memory controller and the off-chip pins; large for halos whose
+	// memory controller sits at the die centre (16 for E, 9 for F).
+	MemWireDelay int
+
+	nodeAt  [][]NodeID // mesh: nodeAt[y][x]; halo: nodeAt[pos][spike]
+	columns [][]NodeID // bank-set columns in distance order from the core
+	banks   int
+}
+
+// NumNodes returns the router count.
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// NumBanks returns the cache bank count.
+func (t *Topology) NumBanks() int { return t.banks }
+
+// NumPorts returns how many neighbor ports node n has (including absent ones).
+func (t *Topology) NumPorts(n NodeID) int { return len(t.Ports[n]) }
+
+// Link returns the directed link leaving n via port p and whether it exists.
+func (t *Topology) Link(n NodeID, p int) (PortLink, bool) {
+	if p < 0 || p >= len(t.Ports[n]) || t.Ports[n][p].To == NoLink {
+		return PortLink{}, false
+	}
+	return t.Ports[n][p], true
+}
+
+// NodeAt returns the node at mesh coordinates (x, y), or for halos the
+// node on spike x at position y (the hub is not addressable this way).
+func (t *Topology) NodeAt(x, y int) NodeID {
+	return t.nodeAt[y][x]
+}
+
+// Columns returns the number of bank-set columns (mesh width / spike count).
+func (t *Topology) Columns() int { return len(t.columns) }
+
+// Column returns the routers of bank-set column c ordered by distance from
+// the core: Column(c)[0] hosts the MRU bank, the last element the LRU bank.
+func (t *Topology) Column(c int) []NodeID { return t.columns[c] }
+
+// Ways returns the number of banks in each bank-set column.
+func (t *Topology) Ways() int { return len(t.columns[0]) }
+
+// ColumnOf returns the bank-set column of node n and its position within
+// the column (0 = MRU). ok is false for nodes without a bank (the hub).
+func (t *Topology) ColumnOf(n NodeID) (col, pos int, ok bool) {
+	nd := t.Nodes[n]
+	if nd.Bank < 0 {
+		return 0, 0, false
+	}
+	return nd.X, nd.Y, true
+}
+
+// SameColumn reports whether a and b are bank-bearing routers of the same
+// bank-set column (mesh column or halo spike). Used by path multicast to
+// decide local delivery.
+func (t *Topology) SameColumn(a, b NodeID) bool {
+	na, nb := t.Nodes[a], t.Nodes[b]
+	return na.Bank >= 0 && nb.Bank >= 0 && na.X == nb.X
+}
+
+// CountLinks returns the number of directed links in the topology.
+func (t *Topology) CountLinks() int {
+	c := 0
+	for n := range t.Ports {
+		for p := range t.Ports[n] {
+			if t.Ports[n][p].To != NoLink {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// Validate checks structural invariants: link symmetry of the port tables
+// (every link's ToPort refers back or is at least a valid port), positive
+// delays, in-range ids. It returns the first problem found.
+func (t *Topology) Validate() error {
+	for n := range t.Ports {
+		for p, l := range t.Ports[n] {
+			if l.To == NoLink {
+				continue
+			}
+			if l.To < 0 || l.To >= len(t.Nodes) {
+				return fmt.Errorf("node %d port %d: bad target %d", n, p, l.To)
+			}
+			if l.Delay < 1 {
+				return fmt.Errorf("node %d port %d: delay %d < 1", n, p, l.Delay)
+			}
+			if l.ToPort < 0 || l.ToPort >= len(t.Ports[l.To]) {
+				return fmt.Errorf("node %d port %d: bad ToPort %d", n, p, l.ToPort)
+			}
+		}
+	}
+	if t.Core < 0 || t.Core >= len(t.Nodes) {
+		return fmt.Errorf("bad core node %d", t.Core)
+	}
+	if t.Mem < 0 || t.Mem >= len(t.Nodes) {
+		return fmt.Errorf("bad mem node %d", t.Mem)
+	}
+	for c, col := range t.columns {
+		if len(col) == 0 {
+			return fmt.Errorf("column %d empty", c)
+		}
+		for pos, n := range col {
+			if t.Nodes[n].Bank < 0 {
+				return fmt.Errorf("column %d pos %d: node %d has no bank", c, pos, n)
+			}
+		}
+	}
+	return nil
+}

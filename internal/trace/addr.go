@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BlockShift is log2 of the 64 B block size: the address offset field.
+const BlockShift = 6
+
+// AddrMap decomposes a block address into the paper's fields
+// (Section 5): offset (6 b) | bank-column | index | tag. The bank-column
+// selects one of the bank-set columns; the index selects the set within
+// every bank of the column.
+type AddrMap struct {
+	Columns int // power of two
+	Sets    int // power of two
+}
+
+func log2(v int) int {
+	if v <= 0 || v&(v-1) != 0 {
+		panic(fmt.Sprintf("trace: %d is not a positive power of two", v))
+	}
+	return bits.TrailingZeros(uint(v))
+}
+
+// ColumnOf extracts the bank-set column of a byte address.
+func (a AddrMap) ColumnOf(addr uint64) int {
+	return int((addr >> BlockShift) & uint64(a.Columns-1))
+}
+
+// SetOf extracts the set index of a byte address.
+func (a AddrMap) SetOf(addr uint64) int {
+	return int((addr >> (BlockShift + log2(a.Columns))) & uint64(a.Sets-1))
+}
+
+// TagOf extracts the tag of a byte address.
+func (a AddrMap) TagOf(addr uint64) uint64 {
+	return addr >> (BlockShift + log2(a.Columns) + log2(a.Sets))
+}
+
+// Compose builds a block-aligned byte address from tag, set and column.
+func (a AddrMap) Compose(tag uint64, set, col int) uint64 {
+	cb, sb := log2(a.Columns), log2(a.Sets)
+	return (tag<<(sb+cb) | uint64(set)<<cb | uint64(col)) << BlockShift
+}

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"math"
+
+	"nucanet/internal/sim"
+)
+
+// Access is one L2 reference.
+type Access struct {
+	Addr  uint64 // block-aligned byte address
+	Write bool
+	Gap   int64 // instructions executed since the previous access
+}
+
+// Generator produces an access stream.
+type Generator interface {
+	Next() Access
+}
+
+// maxStack caps the per-set reuse stack: reuse depths beyond twice the
+// deepest associativity we simulate are indistinguishable misses.
+const maxStack = 48
+
+// hitDepth is the associativity against which the profile's MissRate is
+// defined: reuse within the top hitDepth stack positions hits a warm
+// 16-way LRU cache; deeper reuse and fresh blocks miss it.
+const hitDepth = 16
+
+// Synthetic generates the per-benchmark stream described in the package
+// comment: a uniformly chosen (column, hot set), then with probability
+// 1-MissRate a reuse at a Zipf-distributed depth within the 16 resident
+// ways (an LRU hit), otherwise a miss — half brand-new blocks, half deep
+// reuse beyond the cache's reach. Replacement policies other than exact
+// LRU (Promotion) keep different contents and therefore see different
+// hit rates on the same stream, as in the paper.
+type Synthetic struct {
+	// SetsPerColumn bounds how many sets of each column the stream
+	// touches. Programs concentrate on a working set far smaller than
+	// the 16K sets of the cache; bounding it keeps per-set access counts
+	// at scaled-down trace lengths comparable to the paper's full runs
+	// (where replacement-policy dynamics have time to diverge).
+	// Mutate before the first Next call. Default 16.
+	SetsPerColumn int
+
+	prof Profile
+	am   AddrMap
+	rng  *sim.RNG
+
+	cdf     []float64 // Zipf CDF over depths 1..maxStack
+	stacks  [][]uint64
+	nextTag uint64
+	meanGap float64
+}
+
+// NewSynthetic builds a generator for a benchmark profile over the given
+// address map, seeded deterministically.
+//
+// Every per-set reuse stack is prefilled with distinct warm tags so the
+// stream models a program past its cold-start (the paper warms the L2
+// with 100 M instructions before measuring). Use WarmBlocks to preload a
+// cache with the same state.
+func NewSynthetic(p Profile, am AddrMap, seed uint64) *Synthetic {
+	g := &Synthetic{prof: p, am: am, rng: sim.NewRNG(seed), nextTag: 1, SetsPerColumn: 16}
+	if g.SetsPerColumn > am.Sets {
+		g.SetsPerColumn = am.Sets
+	}
+	g.stacks = make([][]uint64, am.Columns*am.Sets)
+	for i := range g.stacks {
+		st := make([]uint64, maxStack)
+		for j := range st {
+			st[j] = g.nextTag
+			g.nextTag++
+		}
+		g.stacks[i] = st
+	}
+	g.cdf = make([]float64, hitDepth)
+	sum := 0.0
+	for d := 1; d <= hitDepth; d++ {
+		sum += 1.0 / math.Pow(float64(d), p.Alpha)
+		g.cdf[d-1] = sum
+	}
+	for i := range g.cdf {
+		g.cdf[i] /= sum
+	}
+	if p.AccPerInstr > 0 {
+		g.meanGap = 1.0 / p.AccPerInstr
+	} else {
+		g.meanGap = 1
+	}
+	return g
+}
+
+// Profile returns the generator's profile.
+func (g *Synthetic) Profile() Profile { return g.prof }
+
+// WarmBlocks returns, for each (column, set), the `ways` most recently
+// used tags in MRU-to-LRU order — the warm cache contents matching the
+// generator's prefilled reuse stacks. Index the result with
+// set*Columns+col.
+func (g *Synthetic) WarmBlocks(ways int) [][]uint64 {
+	out := make([][]uint64, len(g.stacks))
+	for i, st := range g.stacks {
+		n := ways
+		if n > len(st) {
+			n = len(st)
+		}
+		cp := make([]uint64, n)
+		copy(cp, st[:n])
+		out[i] = cp
+	}
+	return out
+}
+
+// Next produces the next access.
+func (g *Synthetic) Next() Access {
+	col := g.rng.Intn(g.am.Columns)
+	n := g.SetsPerColumn
+	if n < 1 || n > g.am.Sets {
+		n = g.am.Sets
+	}
+	set := g.rng.Intn(n)
+	stack := &g.stacks[set*g.am.Columns+col]
+
+	var tag uint64
+	if g.rng.Bool(g.prof.MissRate) {
+		// A miss: half compulsory (fresh block), half capacity (reuse
+		// from beyond the cache's 16 resident ways).
+		if g.rng.Bool(0.5) {
+			tag = g.nextTag
+			g.nextTag++
+		} else {
+			d := hitDepth + 1 + g.rng.Intn(maxStack-hitDepth)
+			tag = (*stack)[d-1]
+		}
+	} else {
+		// A hit: Zipf-distributed reuse within the resident ways.
+		tag = (*stack)[g.sampleDepth()-1]
+	}
+	// Move (or insert) the tag to the stack front.
+	s := *stack
+	pos := -1
+	for i, t := range s {
+		if t == tag {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		pos = len(s) - 1 // fresh: the oldest entry falls off
+	}
+	copy(s[1:pos+1], s[:pos])
+	s[0] = tag
+
+	gap := g.geometricGap()
+	return Access{
+		Addr:  g.am.Compose(tag, set, col),
+		Write: g.rng.Bool(g.prof.WriteFrac()),
+		Gap:   gap,
+	}
+}
+
+// sampleDepth draws a Zipf-distributed stack depth in [1, maxStack].
+func (g *Synthetic) sampleDepth() int {
+	u := g.rng.Float64()
+	lo, hi := 0, len(g.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// burstFrac is the fraction of accesses that arrive in bursts (back to
+// back, as after a cluster of L1 misses); the remainder carry long gaps
+// chosen to preserve the profile's overall accesses-per-instruction.
+const (
+	burstFrac    = 0.6
+	burstGapMean = 2.0
+)
+
+// geometricGap draws the instruction gap with mean 1/AccPerInstr using a
+// bursty mixture: L2 accesses cluster after L1 miss bursts rather than
+// arriving uniformly, which is what exposes column and bank contention.
+func (g *Synthetic) geometricGap() int64 {
+	if g.meanGap <= burstGapMean+1 {
+		return g.geom(g.meanGap)
+	}
+	if g.rng.Bool(burstFrac) {
+		return g.geom(burstGapMean)
+	}
+	long := (g.meanGap - burstFrac*burstGapMean) / (1 - burstFrac)
+	return g.geom(long)
+}
+
+// geom draws a geometric value >= 1 with the given mean.
+func (g *Synthetic) geom(mean float64) int64 {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1.0 / mean
+	u := g.rng.Float64()
+	n := int64(math.Log(1-u)/math.Log(1-p)) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Uniform generates uniformly random block accesses over a working set —
+// a stress generator for protocol and network tests.
+type Uniform struct {
+	am        AddrMap
+	rng       *sim.RNG
+	tags      int
+	writeFrac float64
+	gap       int64
+}
+
+// NewUniform builds a uniform generator touching `tags` distinct tags per
+// set with the given write fraction and fixed instruction gap.
+func NewUniform(am AddrMap, tags int, writeFrac float64, gap int64, seed uint64) *Uniform {
+	if tags < 1 {
+		panic("trace: NewUniform needs tags >= 1")
+	}
+	return &Uniform{am: am, rng: sim.NewRNG(seed), tags: tags, writeFrac: writeFrac, gap: gap}
+}
+
+// Next produces the next access.
+func (u *Uniform) Next() Access {
+	return Access{
+		Addr:  u.am.Compose(uint64(u.rng.Intn(u.tags)+1), u.rng.Intn(u.am.Sets), u.rng.Intn(u.am.Columns)),
+		Write: u.rng.Bool(u.writeFrac),
+		Gap:   u.gap,
+	}
+}
+
+// Sequential streams through blocks in address order — the pathological
+// no-reuse workload (every access a compulsory miss once past the cache).
+type Sequential struct {
+	am   AddrMap
+	next uint64
+	gap  int64
+}
+
+// NewSequential builds a sequential streamer.
+func NewSequential(am AddrMap, gap int64) *Sequential {
+	return &Sequential{am: am, gap: gap, next: 0}
+}
+
+// Next produces the next access.
+func (s *Sequential) Next() Access {
+	a := Access{Addr: s.next << BlockShift, Gap: s.gap}
+	s.next++
+	return a
+}
+
+// Slice replays a fixed access slice (loaded traces, tests).
+type Slice struct {
+	acc []Access
+	i   int
+}
+
+// NewSlice wraps a slice; Next wraps around at the end.
+func NewSlice(acc []Access) *Slice {
+	if len(acc) == 0 {
+		panic("trace: empty slice")
+	}
+	return &Slice{acc: acc}
+}
+
+// Next produces the next access, cycling.
+func (s *Slice) Next() Access {
+	a := s.acc[s.i]
+	s.i = (s.i + 1) % len(s.acc)
+	return a
+}
+
+// Take drains n accesses from a generator into a slice.
+func Take(g Generator, n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encode writes accesses in the textual trace format, one per line:
+//
+//	R 0x<addr> <gap>
+//	W 0x<addr> <gap>
+func Encode(w io.Writer, acc []Access) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range acc {
+		op := "R"
+		if a.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%s 0x%x %d\n", op, a.Addr, a.Gap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses the textual trace format produced by Encode. Blank lines
+// and lines starting with '#' are ignored.
+func Decode(r io.Reader) ([]Access, error) {
+	var out []Access
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		var a Access
+		switch fields[0] {
+		case "R":
+		case "W":
+			a.Write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
+		}
+		a.Addr = addr
+		gap, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || gap < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad gap %q", lineNo, fields[2])
+		}
+		a.Gap = gap
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

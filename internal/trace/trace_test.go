@@ -1,0 +1,305 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func am16() AddrMap { return AddrMap{Columns: 16, Sets: 1024} }
+
+func TestProfilesMatchTable2(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 12 {
+		t.Fatalf("profiles = %d, want 12", len(ps))
+	}
+	// Spot-check the Table 2 rows used most in the text.
+	art, err := ProfileByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.AccPerInstr != 0.155 || art.PerfectIPC != 0.40 || !art.FP {
+		t.Fatalf("art profile wrong: %+v", art)
+	}
+	mcf, _ := ProfileByName("mcf")
+	if mcf.AccPerInstr != 0.181 || mcf.InstrTotal != 250_000_000 || mcf.FP {
+		t.Fatalf("mcf profile wrong: %+v", mcf)
+	}
+	// Consistency: reads+writes per instruction approximately matches
+	// the printed accesses-per-instruction column.
+	for _, p := range ps {
+		derived := (p.ReadsM + p.WritesM) * 1e6 / float64(p.InstrTotal)
+		if math.Abs(derived-p.AccPerInstr)/p.AccPerInstr > 0.12 {
+			t.Errorf("%s: derived acc/instr %.4f vs table %.4f", p.Name, derived, p.AccPerInstr)
+		}
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("doom"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if names[0] != "applu" || names[11] != "vpr" {
+		t.Fatalf("order wrong: %v", names)
+	}
+}
+
+func TestAddrMapRoundTrip(t *testing.T) {
+	am := am16()
+	if err := quick.Check(func(tag uint64, s, c uint16) bool {
+		tag &= 0xfff
+		set := int(s) % am.Sets
+		col := int(c) % am.Columns
+		addr := am.Compose(tag, set, col)
+		return am.TagOf(addr) == tag && am.SetOf(addr) == set &&
+			am.ColumnOf(addr) == col && addr%64 == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrMapPaperLayout(t *testing.T) {
+	// 32-bit address: tag(12) index(10) bank-column(4) offset(6).
+	am := am16()
+	addr := am.Compose(0xABC, 0x3FF, 0xF)
+	if addr != 0xABC<<20|0x3FF<<10|0xF<<6 {
+		t.Fatalf("compose = %#x", addr)
+	}
+}
+
+func TestAddrMapNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AddrMap{Columns: 12, Sets: 1024}.SetOf(0)
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	a := Take(NewSynthetic(p, am16(), 42), 2000)
+	b := Take(NewSynthetic(p, am16(), 42), 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := Take(NewSynthetic(p, am16(), 43), 2000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds gave identical stream")
+	}
+}
+
+func TestSyntheticWriteFraction(t *testing.T) {
+	p, _ := ProfileByName("lucas") // writes/(r+w) = 13.226/32.732 = 0.404
+	acc := Take(NewSynthetic(p, am16(), 1), 20000)
+	writes := 0
+	for _, a := range acc {
+		if a.Write {
+			writes++
+		}
+	}
+	got := float64(writes) / float64(len(acc))
+	if math.Abs(got-p.WriteFrac()) > 0.02 {
+		t.Fatalf("write fraction = %.3f, want ~%.3f", got, p.WriteFrac())
+	}
+}
+
+func TestSyntheticGapMatchesAccessRate(t *testing.T) {
+	for _, name := range []string{"mesa", "mcf"} {
+		p, _ := ProfileByName(name)
+		acc := Take(NewSynthetic(p, am16(), 7), 20000)
+		var total int64
+		for _, a := range acc {
+			total += a.Gap
+		}
+		gotRate := float64(len(acc)) / float64(total)
+		if math.Abs(gotRate-p.AccPerInstr)/p.AccPerInstr > 0.08 {
+			t.Errorf("%s: accesses/instr = %.4f, want ~%.4f", name, gotRate, p.AccPerInstr)
+		}
+	}
+}
+
+// reuseStats measures, with a reference 16-way LRU per set warmed from the
+// generator's initial WarmBlocks, the hit rate and MRU-way concentration
+// of the next n accesses. Call on a fresh generator.
+func reuseStats(g *Synthetic, n int, am AddrMap) (hitRate, mruShare float64) {
+	type set struct{ stack []uint64 }
+	sets := make([]set, am.Columns*am.Sets)
+	for i, warm := range g.WarmBlocks(16) {
+		sets[i].stack = append(sets[i].stack, warm...)
+	}
+	acc := Take(g, n)
+	hits, mru := 0, 0
+	for _, a := range acc {
+		s := &sets[am.SetOf(a.Addr)*am.Columns+am.ColumnOf(a.Addr)]
+		tag := am.TagOf(a.Addr)
+		found := -1
+		for i, t := range s.stack {
+			if t == tag {
+				found = i
+				break
+			}
+		}
+		if found >= 0 {
+			hits++
+			if found == 0 {
+				mru++
+			}
+			copy(s.stack[1:found+1], s.stack[:found])
+			s.stack[0] = tag
+		} else {
+			if len(s.stack) < 16 {
+				s.stack = append(s.stack, 0)
+			}
+			copy(s.stack[1:], s.stack)
+			s.stack[0] = tag
+		}
+	}
+	if hits == 0 {
+		return 0, 0
+	}
+	return float64(hits) / float64(len(acc)), float64(mru) / float64(hits)
+}
+
+func TestSyntheticLocalityShapes(t *testing.T) {
+	am := am16()
+	// art: essentially no misses beyond compulsory (paper Section 6,
+	// footnote 5). applu/lucas: low hit rates.
+	art, _ := ProfileByName("art")
+	hr, mru := reuseStats(NewSynthetic(art, am, 3), 60000, am)
+	if hr < 0.95 {
+		t.Errorf("art hit rate = %.3f, want > 0.95", hr)
+	}
+	if mru < 0.5 {
+		t.Errorf("art MRU share = %.3f, want strong MRU concentration", mru)
+	}
+	applu, _ := ProfileByName("applu")
+	hrA, _ := reuseStats(NewSynthetic(applu, am, 3), 60000, am)
+	if hrA > 1-applu.MissRate+0.03 || hrA < 1-applu.MissRate-0.03 {
+		t.Errorf("applu hit rate = %.3f, want ~%.2f (the profile's target)", hrA, 1-applu.MissRate)
+	}
+	if hrA >= hr-0.1 {
+		t.Error("applu must have a clearly lower hit rate than art")
+	}
+}
+
+func TestSetsPerColumnBoundsHotSets(t *testing.T) {
+	am := am16()
+	p, _ := ProfileByName("gcc")
+	g := NewSynthetic(p, am, 4)
+	g.SetsPerColumn = 4
+	seen := map[int]bool{}
+	for _, a := range Take(g, 5000) {
+		set := am.SetOf(a.Addr)
+		if set >= 4 {
+			t.Fatalf("access touched set %d beyond the hot pool", set)
+		}
+		seen[set] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("hot pool used %d sets, want 4", len(seen))
+	}
+}
+
+func TestSetsPerColumnClampsToSets(t *testing.T) {
+	am := AddrMap{Columns: 4, Sets: 8}
+	p, _ := ProfileByName("gcc")
+	g := NewSynthetic(p, am, 4) // default 16 > 8 sets: must clamp
+	for _, a := range Take(g, 500) {
+		if s := am.SetOf(a.Addr); s >= 8 {
+			t.Fatalf("set %d out of range", s)
+		}
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	am := am16()
+	g := NewUniform(am, 8, 0.3, 10, 5)
+	acc := Take(g, 5000)
+	cols := map[int]int{}
+	for _, a := range acc {
+		if a.Gap != 10 {
+			t.Fatal("gap must be fixed")
+		}
+		if tag := am.TagOf(a.Addr); tag < 1 || tag > 8 {
+			t.Fatalf("tag %d out of range", tag)
+		}
+		cols[am.ColumnOf(a.Addr)]++
+	}
+	if len(cols) != 16 {
+		t.Fatalf("uniform generator touched %d columns, want 16", len(cols))
+	}
+}
+
+func TestSequentialGenerator(t *testing.T) {
+	g := NewSequential(am16(), 4)
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		a := g.Next()
+		if i > 0 && a.Addr != prev+64 {
+			t.Fatalf("not sequential: %#x after %#x", a.Addr, prev)
+		}
+		prev = a.Addr
+	}
+}
+
+func TestSliceGeneratorCycles(t *testing.T) {
+	acc := []Access{{Addr: 64}, {Addr: 128}}
+	g := NewSlice(acc)
+	if g.Next().Addr != 64 || g.Next().Addr != 128 || g.Next().Addr != 64 {
+		t.Fatal("slice generator must cycle in order")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p, _ := ProfileByName("twolf")
+	acc := Take(NewSynthetic(p, am16(), 11), 500)
+	var buf bytes.Buffer
+	if err := Encode(&buf, acc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(acc) {
+		t.Fatalf("decoded %d, want %d", len(got), len(acc))
+	}
+	for i := range acc {
+		if got[i] != acc[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], acc[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"X 0x40 1\n",
+		"R zzz 1\n",
+		"R 0x40\n",
+		"R 0x40 -2\n",
+	}
+	for _, s := range bad {
+		if _, err := Decode(bytes.NewBufferString(s)); err == nil {
+			t.Errorf("Decode(%q) should fail", s)
+		}
+	}
+	ok := "# comment\n\nR 0x40 1\n"
+	got, err := Decode(bytes.NewBufferString(ok))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("comment/blank handling broken: %v %v", got, err)
+	}
+}
