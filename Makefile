@@ -1,0 +1,33 @@
+# Tier-1 verification is `make test`; `make check` is the CI gate the
+# parallel engine added: vet, the race detector over the short-mode
+# subset (which includes the engine's determinism regression), and a
+# one-iteration smoke pass over every benchmark target.
+
+GO ?= go
+
+.PHONY: build test check vet race bench clean
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short-mode subset under the race detector: exercises the parallel
+# experiment engine, the CMP sweep, and every unit test, while skipping
+# the multi-minute full figure sweeps.
+race:
+	$(GO) test -race -short ./...
+
+# Compile and run every benchmark once (no measurement) so bench_test.go
+# can never rot silently.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+check: vet race bench
+
+clean:
+	$(GO) clean ./...

@@ -253,6 +253,29 @@ func cpuNew(k *sim.Kernel, sys *cache.System, p trace.Profile, accs []trace.Acce
 	return cpu.New(k, sys, p, accs, cpu.DefaultConfig())
 }
 
+// BenchmarkParallelSweep measures the experiment engine's fan-out on a
+// Figure 7-style 12-benchmark sweep: j=1 is the sequential reference,
+// j=0 one worker per core. The reported speedup metric is Work/Wall.
+func BenchmarkParallelSweep(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"j-1", 1}, {"j-all", 0}} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			var rep core.SweepReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = core.Fig7(core.ExpConfig{Accesses: 500, Seed: 42, Workers: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Speedup(), "speedup")
+		})
+	}
+}
+
 // BenchmarkKernelTick measures the simulation kernel's raw tick rate.
 func BenchmarkKernelTick(b *testing.B) {
 	k := sim.NewKernel()

@@ -1,10 +1,12 @@
 // Command nucasim runs one networked-cache simulation and prints its
 // measurements: IPC, latency statistics, the bank/network/memory split,
-// and traffic counters.
+// and traffic counters. With -bench all the runs fan out to a parallel
+// worker pool (-j), and a merged aggregate closes the report.
 //
 // Usage:
 //
 //	nucasim -design A -policy fastlru -mode multicast -bench gcc -n 8000
+//	nucasim -design F -bench all -j 8
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "random seed")
 		window   = flag.Int("window", 8, "CPU outstanding-access window (MSHRs)")
 		blocking = flag.Float64("blocking", 0.35, "fraction of reads that stall the core")
+		jobs     = flag.Int("j", 0, "parallel runs (0 = one per core, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -40,15 +43,19 @@ func main() {
 	if *bench == "all" {
 		benches = trace.Names()
 	}
-	for _, b := range benches {
-		r, err := core.Run(core.Options{
+	opts := make([]core.Options, len(benches))
+	for i, b := range benches {
+		opts[i] = core.Options{
 			DesignID: *design, Policy: p, Mode: m,
 			Benchmark: b, Accesses: *n, Seed: *seed,
 			CPU: cpu.Config{Window: *window, BlockingProb: *blocking},
-		})
-		fatal(err)
-		fmt.Printf("design %s  %s+%s  %s  (%d accesses, seed %d)\n",
-			*design, m, p, b, *n, *seed)
+		}
+	}
+	results, rep, err := core.NewEngine(*jobs).RunAll(opts)
+	fatal(err)
+	for i, r := range results {
+		fmt.Printf("design %s  %s+%s  %s  (%d accesses, seed %d)  [%.2fs]\n",
+			*design, m, p, benches[i], *n, *seed, rep.PerRun[i].Seconds())
 		fmt.Printf("  IPC            %.4f (perfect-L2 %.2f)\n", r.IPC, r.PerfectIPC)
 		fmt.Printf("  avg latency    %.1f cycles (hit %.1f, miss %.1f)\n",
 			r.AvgLatency, r.AvgHit, r.AvgMiss)
@@ -62,6 +69,17 @@ func main() {
 		fmt.Printf("  memory         %d reads, %d writebacks\n",
 			r.Memory.Reads, r.Memory.WriteBacks)
 		fmt.Printf("  bank accesses  %d\n", r.BankAccesses)
+	}
+	if len(results) > 1 {
+		agg := core.AggregateOf(results)
+		fmt.Printf("aggregate over %d runs (%d accesses)\n", agg.Runs, agg.Accesses)
+		fmt.Printf("  avg latency    %.1f cycles (hit %.1f, miss %.1f), hit rate %.1f%%\n",
+			agg.Latency.Avg(), agg.Latency.AvgHit(), agg.Latency.AvgMiss(),
+			100*agg.Latency.HitRate())
+		fmt.Printf("  traffic        %d packets, %d flits; memory %d reads, %d writebacks\n",
+			agg.Network.PacketsInjected, agg.Network.FlitsInjected, agg.MemReads, agg.MemWB)
+		fmt.Printf("[%d runs, j=%d: wall %.1fs, work %.1fs, speedup %.1fx]\n",
+			rep.Runs, rep.Workers, rep.Wall.Seconds(), rep.Work.Seconds(), rep.Speedup())
 	}
 }
 

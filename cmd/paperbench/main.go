@@ -5,6 +5,7 @@
 //
 //	paperbench -exp all          # everything (several minutes)
 //	paperbench -exp f9 -n 4000   # one experiment, smaller runs
+//	paperbench -exp f9 -j 8      # fan the sweep out to 8 workers
 //
 // Experiments: t1 t2 t3 t4 f7 f8 f9 headline all
 package main
@@ -14,7 +15,6 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"nucanet/internal/bank"
 	"nucanet/internal/config"
@@ -27,9 +27,10 @@ func main() {
 		exp  = flag.String("exp", "all", "experiment: t1 t2 t3 t4 f7 f8 f9 headline all")
 		n    = flag.Int("n", 8000, "measured L2 accesses per run")
 		seed = flag.Uint64("seed", 42, "random seed")
+		jobs = flag.Int("j", 0, "parallel runs per sweep (0 = one per core, 1 = sequential)")
 	)
 	flag.Parse()
-	cfg := core.ExpConfig{Accesses: *n, Seed: *seed}
+	cfg := core.ExpConfig{Accesses: *n, Seed: *seed, Workers: *jobs}
 
 	run := map[string]func(core.ExpConfig){
 		"t1": func(core.ExpConfig) { table1() },
@@ -107,8 +108,7 @@ func table4() {
 
 func fig7(cfg core.ExpConfig) {
 	header("Figure 7: L2 access latency split, unicast LRU, Design A")
-	t0 := time.Now()
-	rows, err := core.Fig7(cfg)
+	rows, rep, err := core.Fig7(cfg)
 	fatal(err)
 	fmt.Println("benchmark   bank%   network%   memory%")
 	var b, nw, m float64
@@ -119,14 +119,14 @@ func fig7(cfg core.ExpConfig) {
 		m += r.MemPct
 	}
 	k := float64(len(rows))
-	fmt.Printf("  %-9s %5.1f      %5.1f     %5.1f   (paper avg: 25 / 65 / 10)  [%.0fs]\n",
-		"avg", b/k, nw/k, m/k, time.Since(t0).Seconds())
+	fmt.Printf("  %-9s %5.1f      %5.1f     %5.1f   (paper avg: 25 / 65 / 10)\n",
+		"avg", b/k, nw/k, m/k)
+	sweepLine(rep)
 }
 
 func fig8(cfg core.ExpConfig) {
 	header("Figure 8: access latency by scheme, Design A")
-	t0 := time.Now()
-	cells, err := core.Fig8(cfg)
+	cells, rep, err := core.Fig8(cfg)
 	fatal(err)
 	fmt.Println("(a) average / (b) hit / (c) miss latency in cycles; IPC")
 	fmt.Printf("%-9s", "benchmark")
@@ -179,14 +179,14 @@ func fig8(cfg core.ExpConfig) {
 	fmt.Printf("  unicast fastLRU vs unicast LRU:         %+.1f%%\n", 100*(uFast-uLRU)/uLRU)
 	fmt.Printf("column occupancy (request->replacement done; the paper's hop metric):\n")
 	fmt.Printf("  multicast fastLRU vs unicast LRU:       %+.1f%% (paper -46%%)\n", 100*(mFasto-uLRUo)/uLRUo)
-	fmt.Printf("  unicast fastLRU vs unicast LRU:         %+.1f%% (paper -30%%)  [%.0fs]\n",
-		100*(uFasto-uLRUo)/uLRUo, time.Since(t0).Seconds())
+	fmt.Printf("  unicast fastLRU vs unicast LRU:         %+.1f%% (paper -30%%)\n",
+		100*(uFasto-uLRUo)/uLRUo)
+	sweepLine(rep)
 }
 
 func fig9(cfg core.ExpConfig) {
 	header("Figure 9: normalized IPC by design, multicast Fast-LRU")
-	t0 := time.Now()
-	cells, err := core.Fig9(cfg)
+	cells, rep, err := core.Fig9(cfg)
 	fatal(err)
 	fmt.Printf("%-9s", "benchmark")
 	for _, d := range config.Designs() {
@@ -213,14 +213,13 @@ func fig9(cfg core.ExpConfig) {
 	for _, d := range config.Designs() {
 		fmt.Printf(" %5.3f", sums[d.ID]/float64(count))
 	}
-	fmt.Printf("\n(paper avgs: A 1.00, B ~1.00, C 0.86, D 0.88, E 1.12, F 1.13)  [%.0fs]\n",
-		time.Since(t0).Seconds())
+	fmt.Println("\n(paper avgs: A 1.00, B ~1.00, C 0.86, D 0.88, E 1.12, F 1.13)")
+	sweepLine(rep)
 }
 
 func headline(cfg core.ExpConfig) {
 	header("Headline claims (abstract)")
-	t0 := time.Now()
-	h, err := core.ComputeHeadline(cfg)
+	h, rep, err := core.ComputeHeadline(cfg)
 	fatal(err)
 	fmt.Printf("halo+fastLRU IPC vs mesh+multicast-promotion: %+.1f%%  (paper +38%%)\n",
 		100*(h.IPCGainVsMeshPromotion-1))
@@ -228,14 +227,14 @@ func headline(cfg core.ExpConfig) {
 		100*(h.FastLRUIPCGain-1))
 	fmt.Printf("halo (F) IPC vs mesh (A), same policy:        %+.1f%%  (paper +18%%/+13%%)\n",
 		100*(h.HaloIPCGain-1))
-	fmt.Printf("interconnect area, F as a share of A:          %.1f%%  (paper 23%%)  [%.0fs]\n",
-		100*h.InterconnectAreaRatio, time.Since(t0).Seconds())
+	fmt.Printf("interconnect area, F as a share of A:          %.1f%%  (paper 23%%)\n",
+		100*h.InterconnectAreaRatio)
+	sweepLine(rep)
 }
 
 func energyExp(cfg core.ExpConfig) {
 	header("Energy comparison (extension: the paper's stated future work)")
-	t0 := time.Now()
-	cells, err := core.EnergyComparison(cfg, "gcc")
+	cells, rep, err := core.EnergyComparison(cfg, "gcc")
 	fatal(err)
 	fmt.Println("design    nJ/access   network%   banks%   memory%     IPC   (gcc, multicast Fast-LRU)")
 	for _, c := range cells {
@@ -244,20 +243,26 @@ func energyExp(cfg core.ExpConfig) {
 			c.DesignID, r.PerAccessNJ(), 100*r.NetworkShare(),
 			100*r.BankPJ/r.TotalPJ(), 100*r.MemoryPJ/r.TotalPJ(), c.IPC)
 	}
-	fmt.Printf("[%.0fs]\n", time.Since(t0).Seconds())
+	sweepLine(rep)
 }
 
 func powerExp(cfg core.ExpConfig) {
 	header("Power-gating sweep (extension: the paper's on-demand power control)")
-	t0 := time.Now()
-	cells, err := core.PowerGatingSweep(cfg, "gcc")
+	cells, rep, err := core.PowerGatingSweep(cfg, "gcc")
 	fatal(err)
 	fmt.Println("ways on   capacity   hit rate     IPC   nJ/access   (gcc, Design A columns gated from the far end)")
 	for _, c := range cells {
 		fmt.Printf("   %2d      %5d KB    %5.1f%%   %5.3f     %7.2f\n",
 			c.WaysOn, c.CapacityKB, 100*c.HitRate, c.IPC, c.Energy.PerAccessNJ())
 	}
-	fmt.Printf("[%.0fs]\n", time.Since(t0).Seconds())
+	sweepLine(rep)
+}
+
+// sweepLine reports the engine's accounting for one sweep: total wall
+// time, summed per-run work, and the realized parallel speedup.
+func sweepLine(rep core.SweepReport) {
+	fmt.Printf("[%d runs, j=%d: wall %.1fs, work %.1fs, speedup %.1fx]\n",
+		rep.Runs, rep.Workers, rep.Wall.Seconds(), rep.Work.Seconds(), rep.Speedup())
 }
 
 func fatal(err error) {

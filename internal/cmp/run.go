@@ -7,6 +7,7 @@ import (
 	"nucanet/internal/config"
 	"nucanet/internal/cpu"
 	"nucanet/internal/sim"
+	"nucanet/internal/stats"
 	"nucanet/internal/trace"
 )
 
@@ -40,6 +41,19 @@ type Result struct {
 	// ThroughputIPC sums the cores' IPCs — the CMP's aggregate.
 	ThroughputIPC float64
 	CacheHitRate  float64
+	// Latency snapshots the shared cache's accumulator; merge runs of a
+	// sweep with Latency.Merge.
+	Latency *stats.Latency
+}
+
+// RunMany executes independent CMP configurations on a bounded worker
+// pool (workers <= 0 uses all cores), returning results in submission
+// order. Each Run owns its kernel and cache system, so runs share no
+// mutable state and any worker count yields identical results.
+func RunMany(opts []Options, workers int) ([]Result, error) {
+	return sim.ParMap(workers, len(opts), func(i int) (Result, error) {
+		return Run(opts[i])
+	})
 }
 
 // Run executes an n-core workload to completion.
@@ -87,7 +101,7 @@ func Run(opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("cmp: run did not complete")
 	}
 
-	res := Result{Options: opt, CacheHitRate: s.Cache.Lat.HitRate()}
+	res := Result{Options: opt, CacheHitRate: s.Cache.Lat.HitRate(), Latency: s.Cache.Lat.Clone()}
 	for i, c := range cores {
 		cr, err := c.Result()
 		if err != nil {

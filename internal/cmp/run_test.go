@@ -1,0 +1,50 @@
+package cmp
+
+import (
+	"fmt"
+	"testing"
+
+	"nucanet/internal/cache"
+)
+
+// TestRunManyDeterministicAcrossWorkers runs the same CMP sweep
+// sequentially and on the pool: results must match field for field, and
+// each run's latency snapshot must be mergeable into an order-invariant
+// aggregate.
+func TestRunManyDeterministicAcrossWorkers(t *testing.T) {
+	var opts []Options
+	for _, cores := range []int{1, 2, 4} {
+		opts = append(opts, Options{
+			DesignID: "A", Policy: cache.FastLRU, Mode: cache.Multicast,
+			Cores: cores, Benchmark: "gcc", Accesses: 300, Seed: 7,
+		})
+	}
+	seq, err := RunMany(opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunMany(opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range opts {
+		a := fmt.Sprintf("%v %v %+v %s", seq[i].ThroughputIPC, seq[i].CacheHitRate, seq[i].Cores, seq[i].Latency)
+		b := fmt.Sprintf("%v %v %+v %s", par[i].ThroughputIPC, par[i].CacheHitRate, par[i].Cores, par[i].Latency)
+		if a != b {
+			t.Errorf("run %d (%d cores) diverges:\nj=1: %s\nj=4: %s", i, opts[i].Cores, a, b)
+		}
+	}
+	if seq[0].Latency == nil || seq[0].Latency.Count == 0 {
+		t.Fatal("latency snapshot missing")
+	}
+	// Merged sweep totals are the sums of the parts, either direction.
+	fwd := seq[0].Latency.Clone()
+	fwd.Merge(seq[1].Latency)
+	fwd.Merge(seq[2].Latency)
+	rev := seq[2].Latency.Clone()
+	rev.Merge(seq[1].Latency)
+	rev.Merge(seq[0].Latency)
+	if fwd.Count != rev.Count || fwd.Sum != rev.Sum || fwd.String() != rev.String() {
+		t.Errorf("merge order changed the aggregate: %s vs %s", fwd, rev)
+	}
+}

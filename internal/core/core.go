@@ -17,6 +17,7 @@ import (
 	"nucanet/internal/mem"
 	"nucanet/internal/network"
 	"nucanet/internal/sim"
+	"nucanet/internal/stats"
 	"nucanet/internal/trace"
 )
 
@@ -24,8 +25,12 @@ import (
 type Options struct {
 	// DesignID selects a Table 3 configuration ("A".."F").
 	DesignID string
-	Policy   cache.Policy
-	Mode     cache.Mode
+	// Design, when non-nil, overrides the DesignID lookup with an ad-hoc
+	// configuration not in Table 3 (e.g. the power-gating sweep's
+	// truncated columns).
+	Design *config.Design
+	Policy cache.Policy
+	Mode   cache.Mode
 	// Benchmark names a Table 2 profile.
 	Benchmark string
 	// Accesses is the measured L2 access count (after warm-up).
@@ -71,15 +76,25 @@ type Result struct {
 	Network      network.Stats
 	Memory       mem.Stats
 
+	// Latency is a snapshot of the run's full latency accumulator; use
+	// Latency.Merge to combine runs of a sweep into one aggregate.
+	Latency *stats.Latency
+
 	// Energy is the activity-based energy estimate of the run (the
 	// paper's stated future-work analysis; see internal/energy).
 	Energy energy.Report
 }
 
-// Run executes one simulation to completion.
+// Run executes one simulation to completion. Each run owns its kernel,
+// RNG streams, and stats, so concurrent Run calls on distinct Options
+// never share mutable state (the property the parallel engine depends
+// on; see engine.go and the determinism regression test).
 func Run(opt Options) (Result, error) {
-	d, err := config.DesignByID(opt.DesignID)
-	if err != nil {
+	var d config.Design
+	var err error
+	if opt.Design != nil {
+		d = *opt.Design
+	} else if d, err = config.DesignByID(opt.DesignID); err != nil {
 		return Result{}, err
 	}
 	prof, err := trace.ProfileByName(opt.Benchmark)
@@ -105,7 +120,7 @@ func Run(opt Options) (Result, error) {
 	res, err := c.Run(1 << 40)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s/%v/%v/%s: %w",
-			opt.DesignID, opt.Policy, opt.Mode, opt.Benchmark, err)
+			d.ID, opt.Policy, opt.Mode, opt.Benchmark, err)
 	}
 	if err := sys.Drain(1 << 30); err != nil {
 		return Result{}, err
@@ -139,6 +154,7 @@ func Run(opt Options) (Result, error) {
 		BankAccesses: sys.BankAccesses(),
 		Network:      netStats,
 		Memory:       memStats,
+		Latency:      sys.Lat.Clone(),
 		Energy:       erep,
 	}, nil
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nucanet/internal/cache"
+)
+
+// fingerprint serializes every measurement of a result slice into a
+// stable byte form, including the full latency accumulator. Two sweeps
+// are "the same experiment" exactly when their fingerprints are
+// byte-identical.
+func fingerprint(t *testing.T, rs []Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, r := range rs {
+		fmt.Fprintf(&buf, "run %d %s/%v/%v/%s seed=%d\n",
+			i, r.Design.ID, r.Options.Policy, r.Options.Mode, r.Options.Benchmark, r.Options.Seed)
+		fmt.Fprintf(&buf, "  ipc=%v instr=%d cycles=%d\n", r.IPC, r.Instructions, r.Cycles)
+		fmt.Fprintf(&buf, "  lat=%v hit=%v miss=%v occ=%v hitrate=%v mru=%v\n",
+			r.AvgLatency, r.AvgHit, r.AvgMiss, r.AvgOccupancy, r.HitRate, r.MRUHitShare)
+		fmt.Fprintf(&buf, "  shares=%v/%v/%v banks=%d\n",
+			r.BankShare, r.NetworkShare, r.MemShare, r.BankAccesses)
+		fmt.Fprintf(&buf, "  net=%+v mem=%+v energy=%+v\n", r.Network, r.Memory, r.Energy)
+		if r.Latency == nil {
+			t.Fatalf("run %d: nil latency snapshot", i)
+		}
+		fmt.Fprintf(&buf, "  acc=%s max=%d ways=%v occ=%d/%d split=%d/%d/%d\n",
+			r.Latency, r.Latency.MaxLat, r.Latency.HitWays(),
+			r.Latency.OccSum, r.Latency.OccCount,
+			r.Latency.Bank, r.Latency.Network, r.Latency.Memory)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelEngineDeterminism is the regression harness of the parallel
+// engine: for every topology family (mesh A, simplified mesh B, halo F)
+// crossed with every replacement policy, the same job list run
+// sequentially (Workers=1) and through the worker pool (Workers=8) must
+// produce byte-identical stats. Any shared mutable state between runs —
+// a package-level counter, an aliased slice, a global RNG — shows up
+// here as a fingerprint mismatch (or as a -race report).
+func TestParallelEngineDeterminism(t *testing.T) {
+	accesses := 400
+	if testing.Short() {
+		accesses = 120
+	}
+	designs := []string{"A", "B", "F"} // mesh, simplified mesh (XYX), halo
+	policies := []cache.Policy{cache.Promotion, cache.LRU, cache.FastLRU}
+	for _, id := range designs {
+		for _, pol := range policies {
+			t.Run(fmt.Sprintf("%s-%v", id, pol), func(t *testing.T) {
+				t.Parallel()
+				mode := cache.Multicast
+				if pol == cache.LRU {
+					mode = cache.Unicast // LRU is only evaluated unicast in the paper
+				}
+				var opts []Options
+				for _, bench := range []string{"gcc", "mcf"} {
+					for _, seed := range []uint64{7, 42} {
+						opts = append(opts, Options{
+							DesignID: id, Policy: pol, Mode: mode,
+							Benchmark: bench, Accesses: accesses, Seed: seed,
+						})
+					}
+				}
+				seq, _, err := NewEngine(1).RunAll(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, _, err := NewEngine(8).RunAll(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fpSeq, fpPar := fingerprint(t, seq), fingerprint(t, par)
+				if !bytes.Equal(fpSeq, fpPar) {
+					t.Errorf("sequential and parallel sweeps diverge:\n--- j=1 ---\n%s--- j=8 ---\n%s",
+						fpSeq, fpPar)
+				}
+			})
+		}
+	}
+}
+
+// TestExperimentDriversDeterministicAcrossWorkers pins the user-visible
+// guarantee: paperbench -exp f9 -j 1 and -j 8 print identical rows.
+func TestExperimentDriversDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full driver sweep; skipped in -short")
+	}
+	cfgSeq := ExpConfig{Accesses: 150, Seed: 7, Workers: 1}
+	cfgPar := ExpConfig{Accesses: 150, Seed: 7, Workers: 8}
+	seq, _, err := Fig9(cfgSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := Fig9(cfgPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", seq) != fmt.Sprintf("%+v", par) {
+		t.Errorf("Fig9 rows differ between j=1 and j=8:\n%+v\n%+v", seq, par)
+	}
+}

@@ -7,9 +7,7 @@ import (
 	"nucanet/internal/bank"
 	"nucanet/internal/cache"
 	"nucanet/internal/config"
-	"nucanet/internal/cpu"
 	"nucanet/internal/energy"
-	"nucanet/internal/sim"
 	"nucanet/internal/trace"
 )
 
@@ -32,14 +30,33 @@ func Fig8Schemes() []Scheme {
 	}
 }
 
-// ExpConfig bounds the experiment size.
+// ExpConfig bounds the experiment size and its parallelism.
 type ExpConfig struct {
 	Accesses int
 	Seed     uint64
+	// Workers is the sweep parallelism (the -j flag): 0 runs one worker
+	// per core, 1 forces the sequential reference execution. Runs are
+	// independent and results are combined in submission order, so every
+	// value of Workers produces byte-identical experiment output (pinned
+	// by the determinism regression test).
+	Workers int
 }
 
 // DefaultExpConfig keeps the full figure sweeps to a few minutes.
 func DefaultExpConfig() ExpConfig { return ExpConfig{Accesses: 8000, Seed: 42} }
+
+// run builds the Options for one (design, scheme, benchmark) cell.
+func (cfg ExpConfig) run(designID string, p cache.Policy, m cache.Mode, bench string) Options {
+	return Options{
+		DesignID: designID, Policy: p, Mode: m,
+		Benchmark: bench, Accesses: cfg.Accesses, Seed: cfg.Seed,
+	}
+}
+
+// sweep fans the job list out on the engine configured by cfg.
+func (cfg ExpConfig) sweep(opts []Options) ([]Result, SweepReport, error) {
+	return NewEngine(cfg.Workers).RunAll(opts)
+}
 
 // Fig7Row is one bar of Figure 7: the latency split of the unicast LRU
 // baseline (Design A).
@@ -49,24 +66,26 @@ type Fig7Row struct {
 }
 
 // Fig7 regenerates Figure 7.
-func Fig7(cfg ExpConfig) ([]Fig7Row, error) {
-	var out []Fig7Row
-	for _, name := range trace.Names() {
-		r, err := Run(Options{
-			DesignID: "A", Policy: cache.LRU, Mode: cache.Unicast,
-			Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Fig7Row{
-			Benchmark: name,
+func Fig7(cfg ExpConfig) ([]Fig7Row, SweepReport, error) {
+	names := trace.Names()
+	opts := make([]Options, len(names))
+	for i, name := range names {
+		opts[i] = cfg.run("A", cache.LRU, cache.Unicast, name)
+	}
+	rs, rep, err := cfg.sweep(opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	out := make([]Fig7Row, len(rs))
+	for i, r := range rs {
+		out[i] = Fig7Row{
+			Benchmark: names[i],
 			BankPct:   100 * r.BankShare,
 			NetPct:    100 * r.NetworkShare,
 			MemPct:    100 * r.MemShare,
-		})
+		}
 	}
-	return out, nil
+	return out, rep, nil
 }
 
 // Fig8Cell is one (benchmark, scheme) measurement of Figure 8.
@@ -83,26 +102,27 @@ type Fig8Cell struct {
 }
 
 // Fig8 regenerates Figure 8: all five schemes on Design A per benchmark.
-func Fig8(cfg ExpConfig) ([]Fig8Cell, error) {
-	var out []Fig8Cell
+func Fig8(cfg ExpConfig) ([]Fig8Cell, SweepReport, error) {
+	schemes := Fig8Schemes()
+	var opts []Options
+	var cells []Fig8Cell
 	for _, name := range trace.Names() {
-		for _, s := range Fig8Schemes() {
-			r, err := Run(Options{
-				DesignID: "A", Policy: s.Policy, Mode: s.Mode,
-				Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig8Cell{
-				Benchmark: name, Scheme: s.Name,
-				AvgLat: r.AvgLatency, HitLat: r.AvgHit, MissLat: r.AvgMiss,
-				OccLat: r.AvgOccupancy,
-				IPC:    r.IPC, HitRate: r.HitRate, MRUShare: r.MRUHitShare,
-			})
+		for _, s := range schemes {
+			opts = append(opts, cfg.run("A", s.Policy, s.Mode, name))
+			cells = append(cells, Fig8Cell{Benchmark: name, Scheme: s.Name})
 		}
 	}
-	return out, nil
+	rs, rep, err := cfg.sweep(opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	for i, r := range rs {
+		c := &cells[i]
+		c.AvgLat, c.HitLat, c.MissLat = r.AvgLatency, r.AvgHit, r.AvgMiss
+		c.OccLat = r.AvgOccupancy
+		c.IPC, c.HitRate, c.MRUShare = r.IPC, r.HitRate, r.MRUHitShare
+	}
+	return cells, rep, nil
 }
 
 // Fig9Cell is one (benchmark, design) measurement of Figure 9.
@@ -115,28 +135,32 @@ type Fig9Cell struct {
 }
 
 // Fig9 regenerates Figure 9: Designs A-F with multicast Fast-LRU.
-func Fig9(cfg ExpConfig) ([]Fig9Cell, error) {
-	var out []Fig9Cell
+func Fig9(cfg ExpConfig) ([]Fig9Cell, SweepReport, error) {
+	designs := config.Designs()
+	var opts []Options
+	var cells []Fig9Cell
 	for _, name := range trace.Names() {
-		var baseIPC float64
-		for _, d := range config.Designs() {
-			r, err := Run(Options{
-				DesignID: d.ID, Policy: cache.FastLRU, Mode: cache.Multicast,
-				Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if d.ID == "A" {
-				baseIPC = r.IPC
-			}
-			out = append(out, Fig9Cell{
-				Benchmark: name, DesignID: d.ID,
-				IPC: r.IPC, NormalizedIPC: r.IPC / baseIPC, AvgLat: r.AvgLatency,
-			})
+		for _, d := range designs {
+			opts = append(opts, cfg.run(d.ID, cache.FastLRU, cache.Multicast, name))
+			cells = append(cells, Fig9Cell{Benchmark: name, DesignID: d.ID})
 		}
 	}
-	return out, nil
+	rs, rep, err := cfg.sweep(opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	// Normalization runs after the sweep, in submission order: each
+	// benchmark's block leads with Design A, its IPC is that block's base.
+	var baseIPC float64
+	for i, r := range rs {
+		if cells[i].DesignID == "A" {
+			baseIPC = r.IPC
+		}
+		cells[i].IPC = r.IPC
+		cells[i].NormalizedIPC = r.IPC / baseIPC
+		cells[i].AvgLat = r.AvgLatency
+	}
+	return cells, rep, nil
 }
 
 // Table4 regenerates the area analysis.
@@ -162,8 +186,22 @@ type Headline struct {
 
 // ComputeHeadline reruns the relevant configurations and aggregates the
 // geometric-mean gains across all benchmarks.
-func ComputeHeadline(cfg ExpConfig) (Headline, error) {
+func ComputeHeadline(cfg ExpConfig) (Headline, SweepReport, error) {
 	var h Headline
+	names := trace.Names()
+	// Three runs per benchmark: mesh Promotion base, mesh Fast-LRU,
+	// halo Fast-LRU — flattened so the engine sees one job list.
+	var opts []Options
+	for _, name := range names {
+		opts = append(opts,
+			cfg.run("A", cache.Promotion, cache.Multicast, name),
+			cfg.run("A", cache.FastLRU, cache.Multicast, name),
+			cfg.run("F", cache.FastLRU, cache.Multicast, name))
+	}
+	rs, rep, err := cfg.sweep(opts)
+	if err != nil {
+		return h, rep, err
+	}
 	gm := func(ratios []float64) float64 {
 		p := 1.0
 		for _, r := range ratios {
@@ -172,22 +210,8 @@ func ComputeHeadline(cfg ExpConfig) (Headline, error) {
 		return math.Pow(p, 1/float64(len(ratios)))
 	}
 	var vsPromo, fastGain, haloGain []float64
-	for _, name := range trace.Names() {
-		base, err := Run(Options{DesignID: "A", Policy: cache.Promotion, Mode: cache.Multicast,
-			Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed})
-		if err != nil {
-			return h, err
-		}
-		meshFast, err := Run(Options{DesignID: "A", Policy: cache.FastLRU, Mode: cache.Multicast,
-			Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed})
-		if err != nil {
-			return h, err
-		}
-		haloFast, err := Run(Options{DesignID: "F", Policy: cache.FastLRU, Mode: cache.Multicast,
-			Benchmark: name, Accesses: cfg.Accesses, Seed: cfg.Seed})
-		if err != nil {
-			return h, err
-		}
+	for i := range names {
+		base, meshFast, haloFast := rs[3*i], rs[3*i+1], rs[3*i+2]
 		vsPromo = append(vsPromo, haloFast.IPC/base.IPC)
 		fastGain = append(fastGain, meshFast.IPC/base.IPC)
 		haloGain = append(haloGain, haloFast.IPC/meshFast.IPC)
@@ -207,7 +231,7 @@ func ComputeHeadline(cfg ExpConfig) (Headline, error) {
 		}
 	}
 	h.InterconnectAreaRatio = fNet / aNet
-	return h, nil
+	return h, rep, nil
 }
 
 // EnergyCell is one design's energy estimate (extension experiment: the
@@ -220,19 +244,21 @@ type EnergyCell struct {
 
 // EnergyComparison estimates the energy of all six designs under
 // multicast Fast-LRU for one benchmark.
-func EnergyComparison(cfg ExpConfig, bench string) ([]EnergyCell, error) {
-	var out []EnergyCell
-	for _, d := range config.Designs() {
-		r, err := Run(Options{
-			DesignID: d.ID, Policy: cache.FastLRU, Mode: cache.Multicast,
-			Benchmark: bench, Accesses: cfg.Accesses, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, EnergyCell{DesignID: d.ID, Report: r.Energy, IPC: r.IPC})
+func EnergyComparison(cfg ExpConfig, bench string) ([]EnergyCell, SweepReport, error) {
+	designs := config.Designs()
+	opts := make([]Options, len(designs))
+	for i, d := range designs {
+		opts[i] = cfg.run(d.ID, cache.FastLRU, cache.Multicast, bench)
 	}
-	return out, nil
+	rs, rep, err := cfg.sweep(opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	out := make([]EnergyCell, len(rs))
+	for i, r := range rs {
+		out[i] = EnergyCell{DesignID: designs[i].ID, Report: r.Energy, IPC: r.IPC}
+	}
+	return out, rep, nil
 }
 
 // PowerCell is one operating point of the power-gating sweep (extension:
@@ -249,57 +275,39 @@ type PowerCell struct {
 // PowerGatingSweep gates the farthest banks of every Design A column,
 // shrinking the powered cache from 16 ways down to 2, and measures the
 // performance/energy operating points of the resulting curve: gated banks
-// contribute neither capacity nor network/bank activity.
-func PowerGatingSweep(cfg ExpConfig, bench string) ([]PowerCell, error) {
+// contribute neither capacity nor network/bank activity. The gated
+// designs run through the engine via the Options.Design override.
+func PowerGatingSweep(cfg ExpConfig, bench string) ([]PowerCell, SweepReport, error) {
 	base, err := config.DesignByID("A")
 	if err != nil {
-		return nil, err
+		return nil, SweepReport{}, err
 	}
-	var out []PowerCell
-	for _, ways := range []int{16, 12, 8, 4, 2} {
+	waysOn := []int{16, 12, 8, 4, 2}
+	opts := make([]Options, len(waysOn))
+	out := make([]PowerCell, len(waysOn))
+	for i, ways := range waysOn {
 		d := base
 		d.ID = "A-gated"
 		d.H = ways
-		d.Banks = d.Banks[:ways]
-		d.MemX = d.CoreX // keep the memory column valid for short meshes
-		gated, err := runDesign(d, bench, cfg)
-		if err != nil {
-			return nil, err
+		d.Banks = d.Banks[:ways] // re-slice only: the backing array is shared read-only
+		d.MemX = d.CoreX         // keep the memory column valid for short meshes
+		gated := d
+		opts[i] = Options{
+			Design: &gated, Policy: cache.FastLRU, Mode: cache.Multicast,
+			Benchmark: bench, Accesses: cfg.Accesses, Seed: cfg.Seed,
 		}
-		gated.WaysOn = ways
-		gated.CapacityKB = d.CapacityKB()
-		out = append(out, gated)
+		out[i] = PowerCell{WaysOn: ways, CapacityKB: d.CapacityKB()}
 	}
-	return out, nil
-}
-
-// runDesign runs an ad-hoc design (not in Table 3) with multicast
-// Fast-LRU and collects the power-sweep measurements.
-func runDesign(d config.Design, bench string, cfg ExpConfig) (PowerCell, error) {
-	prof, err := trace.ProfileByName(bench)
+	rs, rep, err := cfg.sweep(opts)
 	if err != nil {
-		return PowerCell{}, err
+		return nil, rep, err
 	}
-	k := sim.NewKernel()
-	sys := cache.New(k, d, cache.FastLRU, cache.Multicast)
-	gen := trace.NewSynthetic(prof, sys.AM, cfg.Seed)
-	sys.Warm(gen.WarmBlocks(d.Ways()))
-	c := cpu.New(k, sys, prof, trace.Take(gen, cfg.Accesses), cpu.DefaultConfig())
-	res, err := c.Run(1 << 40)
-	if err != nil {
-		return PowerCell{}, err
+	for i, r := range rs {
+		out[i].IPC = r.IPC
+		out[i].HitRate = r.HitRate
+		out[i].Energy = r.Energy
 	}
-	if err := sys.Drain(1 << 30); err != nil {
-		return PowerCell{}, err
-	}
-	memStats := sys.Memory.Stats()
-	erep := energy.DefaultModel().Estimate(energy.Activity{
-		FlitHops:     sys.Net.Stats().Router.FlitsRouted,
-		BankAccesses: sys.BankAccessesBySize(),
-		MemBlocks:    memStats.Reads + memStats.WriteBacks,
-		Accesses:     uint64(cfg.Accesses),
-	})
-	return PowerCell{IPC: res.IPC(), HitRate: sys.Lat.HitRate(), Energy: erep}, nil
+	return out, rep, nil
 }
 
 // Table2Row reports the generator's self-check against the Table 2

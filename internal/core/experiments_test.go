@@ -13,7 +13,7 @@ func TestFig7Driver(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep; skipped in -short")
 	}
-	rows, err := Fig7(tiny)
+	rows, _, err := Fig7(tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestFig8Driver(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep; skipped in -short")
 	}
-	cells, err := Fig8(ExpConfig{Accesses: 200, Seed: 7})
+	cells, _, err := Fig8(ExpConfig{Accesses: 200, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestFig9Driver(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep; skipped in -short")
 	}
-	cells, err := Fig9(ExpConfig{Accesses: 200, Seed: 7})
+	cells, _, err := Fig9(ExpConfig{Accesses: 200, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestFig9Driver(t *testing.T) {
 }
 
 func TestEnergyComparisonDriver(t *testing.T) {
-	cells, err := EnergyComparison(ExpConfig{Accesses: 600, Seed: 7}, "gcc")
+	cells, _, err := EnergyComparison(ExpConfig{Accesses: 600, Seed: 7}, "gcc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestComputeHeadlineSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep; skipped in -short")
 	}
-	h, err := ComputeHeadline(ExpConfig{Accesses: 300, Seed: 7})
+	h, _, err := ComputeHeadline(ExpConfig{Accesses: 300, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestPowerGatingSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep; skipped in -short")
 	}
-	cells, err := PowerGatingSweep(ExpConfig{Accesses: 800, Seed: 7}, "gcc")
+	cells, _, err := PowerGatingSweep(ExpConfig{Accesses: 800, Seed: 7}, "gcc")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,19 @@ type Stats struct {
 	Router           router.Stats // summed over all routers
 }
 
+// Merge adds o's counters into s, including the per-router rollup.
+// Commutative and associative: multi-run aggregates combine in any order.
+func (s *Stats) Merge(o Stats) {
+	s.PacketsInjected += o.PacketsInjected
+	s.PacketsDelivered += o.PacketsDelivered
+	s.FlitsInjected += o.FlitsInjected
+	s.Router.Merge(o.Router)
+}
+
+// Clone returns an independent copy (Stats is a plain value; Clone keeps
+// the aggregation API uniform across stats types).
+func (s Stats) Clone() Stats { return s }
+
 // Network owns the routers and endpoint bindings of one interconnect.
 type Network struct {
 	K       *sim.Kernel
@@ -34,7 +47,12 @@ type Network struct {
 	Alg     routing.Algorithm
 	Routers []*router.Router
 
-	eps       [][3]Endpoint // [node][flit.Endpoint]
+	eps [][3]Endpoint // [node][flit.Endpoint]
+	// Traffic counters. Per-Network state, mutated only from Send and
+	// deliver, both of which run on the goroutine driving this network's
+	// kernel — parallel sweeps give every run its own Network, so these
+	// need no synchronization (audited: go test -race plus the engine's
+	// determinism regression test in internal/core).
 	nextPktID uint64
 	injected  uint64
 	delivered uint64
@@ -118,12 +136,7 @@ func (n *Network) Stats() Stats {
 		FlitsInjected:    n.flitsInj,
 	}
 	for _, r := range n.Routers {
-		rs := r.Stats()
-		s.Router.FlitsRouted += rs.FlitsRouted
-		s.Router.PacketsEjected += rs.PacketsEjected
-		s.Router.ReplicasSpawned += rs.ReplicasSpawned
-		s.Router.ReplicaBlocked += rs.ReplicaBlocked
-		s.Router.CreditStalls += rs.CreditStalls
+		s.Router.Merge(r.Stats())
 	}
 	return s
 }

@@ -60,6 +60,21 @@ type Stats struct {
 	CreditStalls    uint64 // cycles the switch winner had no downstream credit
 }
 
+// Merge adds o's counters into s. Commutative and associative, so
+// aggregates over routers or over runs combine in any order.
+func (s *Stats) Merge(o Stats) {
+	s.FlitsRouted += o.FlitsRouted
+	s.PacketsEjected += o.PacketsEjected
+	s.ReplicasSpawned += o.ReplicasSpawned
+	s.ReplicaBlocked += o.ReplicaBlocked
+	s.CreditStalls += o.CreditStalls
+}
+
+// Clone returns an independent copy. Stats is a plain value today; Clone
+// keeps the aggregation API uniform with stats.Latency if reference
+// fields are ever added.
+func (s Stats) Clone() Stats { return s }
+
 const unassigned = -1
 
 // entry is one buffered flit plus the cycle it became available here.

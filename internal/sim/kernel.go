@@ -8,6 +8,10 @@
 // carry arrival stamps so a flit moves at most one hop per cycle regardless
 // of tick order, and all randomness flows from the seeded RNG in this
 // package.
+//
+// Concurrency: a Kernel is single-threaded — one goroutine drives Step/Run
+// and every component it ticks. Kernels hold no package-level state, so
+// independent Kernels on different goroutines (see ParMap) share nothing.
 package sim
 
 import (

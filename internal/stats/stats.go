@@ -74,6 +74,46 @@ func (l *Latency) record(lat int64, b Breakdown) {
 	l.Memory += b.Memory
 }
 
+// Clone returns an independent deep copy (the hit-way histogram is the
+// only reference field). Snapshotting a run's Latency through Clone lets
+// a parallel sweep hand stats across goroutines without aliasing.
+func (l *Latency) Clone() *Latency {
+	c := *l
+	c.hitWays = append([]int64(nil), l.hitWays...)
+	return &c
+}
+
+// Merge folds o into l: counters and sums add, MaxLat takes the maximum,
+// and the hit-way histograms add element-wise (l grows to o's
+// associativity if needed). Merge is commutative and associative up to
+// hitWays length, so multi-run aggregates combined in submission order
+// equal any other combination order — the property the parallel
+// experiment engine relies on (and the merge-order invariance test pins).
+func (l *Latency) Merge(o *Latency) {
+	l.Count += o.Count
+	l.Sum += o.Sum
+	if o.MaxLat > l.MaxLat {
+		l.MaxLat = o.MaxLat
+	}
+	l.Hits += o.Hits
+	l.HitSum += o.HitSum
+	l.Misses += o.Misses
+	l.MissSum += o.MissSum
+	l.Bank += o.Bank
+	l.Network += o.Network
+	l.Memory += o.Memory
+	l.OccCount += o.OccCount
+	l.OccSum += o.OccSum
+	if len(o.hitWays) > len(l.hitWays) {
+		grown := make([]int64, len(o.hitWays))
+		copy(grown, l.hitWays)
+		l.hitWays = grown
+	}
+	for i, v := range o.hitWays {
+		l.hitWays[i] += v
+	}
+}
+
 // AddOccupancy logs one operation's column-occupancy span.
 func (l *Latency) AddOccupancy(span int64) {
 	l.OccCount++
