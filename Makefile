@@ -1,17 +1,22 @@
-# Tier-1 verification is `make test`; `make check` is the CI gate the
-# parallel engine added: vet, the race detector over the short-mode
-# subset (which includes the engine's determinism regression), and a
-# one-iteration smoke pass over every benchmark target.
+# Tier-1 verification is `make test`; `make check` is the CI gate: gofmt,
+# vet, the race detector over the short-mode subset (which includes the
+# engine's determinism regressions), a one-iteration smoke pass over
+# every benchmark target, and a telemetry smoke run with every probe on.
 
 GO ?= go
 
-.PHONY: build test check vet race bench clean
+.PHONY: build test check fmt vet race bench smoke clean
 
 build:
 	$(GO) build ./...
 
 test: build
 	$(GO) test ./...
+
+# Fail when any file is not gofmt-clean, printing the offenders.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -27,7 +32,16 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-check: vet race bench
+# Tiny end-to-end run with every telemetry probe on: trace, heatmap,
+# time series, at j=2 — exercises the full probe plumbing through the
+# CLI so flag wiring can never rot silently.
+smoke:
+	$(GO) run ./cmd/nucasim -design A -n 500 -j 2 \
+		-heatmap -sample 100 -trace /tmp/nucasim-smoke.jsonl >/dev/null
+	@rm -f /tmp/nucasim-smoke.jsonl
+	@echo "telemetry smoke: ok"
+
+check: fmt vet race bench smoke
 
 clean:
 	$(GO) clean ./...

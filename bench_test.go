@@ -24,6 +24,7 @@ import (
 	"nucanet/internal/router"
 	"nucanet/internal/routing"
 	"nucanet/internal/sim"
+	"nucanet/internal/telemetry"
 	"nucanet/internal/topology"
 	"nucanet/internal/trace"
 )
@@ -273,6 +274,57 @@ func BenchmarkParallelSweep(b *testing.B) {
 			}
 			b.ReportMetric(rep.Speedup(), "speedup")
 		})
+	}
+}
+
+// BenchmarkTelemetryProbes measures the cost of the telemetry layer on a
+// full Design A run: probes-off is the nil-collector fast path every
+// normal run takes (one branch per probe site); probes-on collects the
+// heatmap and time series (the trace is excluded — its memory growth
+// makes cross-iteration numbers incomparable).
+func BenchmarkTelemetryProbes(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		cfg  telemetry.Config
+	}{
+		{"off", telemetry.Config{}},
+		{"on", telemetry.Config{Heatmap: true, SampleEvery: 100}},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.Run(core.Options{
+					DesignID: "A", Policy: cache.FastLRU, Mode: cache.Multicast,
+					Benchmark: "gcc", Accesses: benchAccesses, Seed: 42,
+					Telemetry: bc.cfg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDisabledProbeHotPathAllocFree pins the telemetry contract the
+// simulator's hot loops rely on: with probes disabled (nil collector),
+// every probe site is a branch-and-return that allocates nothing.
+func TestDisabledProbeHotPathAllocFree(t *testing.T) {
+	var c *telemetry.Collector
+	f := flit.Flit{Pkt: &flit.Packet{ID: 9, Kind: flit.ReadReq}, Seq: 0, Head: true}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.FlitInjected(3, f, 12)
+		c.VCAllocated(3, f.Pkt, 12, 1, 2)
+		c.FlitRouted(3, f, 12, 1, 2)
+		c.FlitEjected(4, f, 13, 0)
+		c.ReplicaForked(4, f, 13, 2, 1)
+		c.BankAccess(5, 7)
+		c.BankHit(5, 7)
+		c.Sample(100, 17, 3)
+		c.Finish(200)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled probe path allocates %.1f per op, want 0", allocs)
 	}
 }
 

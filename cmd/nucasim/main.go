@@ -1,22 +1,33 @@
 // Command nucasim runs one networked-cache simulation and prints its
-// measurements: IPC, latency statistics, the bank/network/memory split,
-// and traffic counters. With -bench all the runs fan out to a parallel
-// worker pool (-j), and a merged aggregate closes the report.
+// measurements: IPC, latency statistics (averages and percentiles), the
+// bank/network/memory split, and traffic counters. With -bench all the
+// runs fan out to a parallel worker pool (-j), and a merged aggregate
+// closes the report.
+//
+// Cycle-level telemetry is opt-in: -heatmap prints ASCII link/bank
+// heatmaps, -sample N prints queue-occupancy time series, and -trace F
+// writes the flit-level JSONL event trace ('-' for stdout). Telemetry
+// output is deterministic: a fixed seed produces byte-identical traces
+// and heatmaps at any -j.
 //
 // Usage:
 //
 //	nucasim -design A -policy fastlru -mode multicast -bench gcc -n 8000
 //	nucasim -design F -bench all -j 8
+//	nucasim -design A -heatmap -sample 100 -trace /tmp/flits.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nucanet/internal/cache"
+	"nucanet/internal/cliutil"
 	"nucanet/internal/core"
 	"nucanet/internal/cpu"
+	"nucanet/internal/telemetry"
 	"nucanet/internal/trace"
 )
 
@@ -30,7 +41,10 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "random seed")
 		window   = flag.Int("window", 8, "CPU outstanding-access window (MSHRs)")
 		blocking = flag.Float64("blocking", 0.35, "fraction of reads that stall the core")
-		jobs     = flag.Int("j", 0, "parallel runs (0 = one per core, 1 = sequential)")
+		jobs     = cliutil.Jobs(flag.CommandLine)
+		traceOut = flag.String("trace", "", "write the flit-level JSONL event trace to this file ('-' = stdout)")
+		heatmap  = flag.Bool("heatmap", false, "print ASCII link/bank heatmaps per run")
+		sample   = flag.Int("sample", 0, "sample queue occupancy every N cycles and print the time series")
 	)
 	flag.Parse()
 
@@ -38,7 +52,10 @@ func main() {
 	fatal(err)
 	m, err := cache.ParseMode(*mode)
 	fatal(err)
+	workers, err := cliutil.ResolveJobs(*jobs)
+	fatal(err)
 
+	tcfg := telemetry.Config{Trace: *traceOut != "", Heatmap: *heatmap, SampleEvery: *sample}
 	benches := []string{*bench}
 	if *bench == "all" {
 		benches = trace.Names()
@@ -48,10 +65,11 @@ func main() {
 		opts[i] = core.Options{
 			DesignID: *design, Policy: p, Mode: m,
 			Benchmark: b, Accesses: *n, Seed: *seed,
-			CPU: cpu.Config{Window: *window, BlockingProb: *blocking},
+			CPU:       cpu.Config{Window: *window, BlockingProb: *blocking},
+			Telemetry: tcfg,
 		}
 	}
-	results, rep, err := core.NewEngine(*jobs).RunAll(opts)
+	results, rep, err := core.NewEngine(workers).RunAll(opts)
 	fatal(err)
 	for i, r := range results {
 		fmt.Printf("design %s  %s+%s  %s  (%d accesses, seed %d)  [%.2fs]\n",
@@ -59,6 +77,9 @@ func main() {
 		fmt.Printf("  IPC            %.4f (perfect-L2 %.2f)\n", r.IPC, r.PerfectIPC)
 		fmt.Printf("  avg latency    %.1f cycles (hit %.1f, miss %.1f)\n",
 			r.AvgLatency, r.AvgHit, r.AvgMiss)
+		fmt.Printf("  latency pct    p50 %d  p90 %d  p99 %d  max %d\n",
+			r.Latency.Percentile(0.50), r.Latency.Percentile(0.90),
+			r.Latency.Percentile(0.99), r.Latency.MaxLat)
 		fmt.Printf("  hit rate       %.1f%% (%.1f%% of hits at the MRU bank)\n",
 			100*r.HitRate, 100*r.MRUHitShare)
 		fmt.Printf("  latency split  bank %.1f%% / network %.1f%% / memory %.1f%%\n",
@@ -69,6 +90,17 @@ func main() {
 		fmt.Printf("  memory         %d reads, %d writebacks\n",
 			r.Memory.Reads, r.Memory.WriteBacks)
 		fmt.Printf("  bank accesses  %d\n", r.BankAccesses)
+		if tel := r.Telemetry; tel != nil {
+			if tel.Heat != nil {
+				tel.Heat.Render(os.Stdout)
+			}
+			if tel.Series != nil {
+				tel.Series.Render(os.Stdout)
+			}
+		}
+	}
+	if *traceOut != "" {
+		fatal(writeTraces(*traceOut, *design, benches, results))
 	}
 	if len(results) > 1 {
 		agg := core.AggregateOf(results)
@@ -76,11 +108,43 @@ func main() {
 		fmt.Printf("  avg latency    %.1f cycles (hit %.1f, miss %.1f), hit rate %.1f%%\n",
 			agg.Latency.Avg(), agg.Latency.AvgHit(), agg.Latency.AvgMiss(),
 			100*agg.Latency.HitRate())
+		fmt.Printf("  latency pct    p50 %d  p90 %d  p99 %d  max %d  (merged histogram)\n",
+			agg.Latency.Percentile(0.50), agg.Latency.Percentile(0.90),
+			agg.Latency.Percentile(0.99), agg.Latency.MaxLat)
 		fmt.Printf("  traffic        %d packets, %d flits; memory %d reads, %d writebacks\n",
 			agg.Network.PacketsInjected, agg.Network.FlitsInjected, agg.MemReads, agg.MemWB)
 		fmt.Printf("[%d runs, j=%d: wall %.1fs, work %.1fs, speedup %.1fx]\n",
 			rep.Runs, rep.Workers, rep.Wall.Seconds(), rep.Work.Seconds(), rep.Speedup())
 	}
+}
+
+// writeTraces serializes every run's event trace to one JSONL stream in
+// submission order, each run introduced by a {"ev":"run",...} meta line.
+// Run order and event order are both deterministic, so the stream is
+// byte-identical for a fixed seed at any -j.
+func writeTraces(path, design string, benches []string, results []core.Result) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	for i, r := range results {
+		if r.Telemetry == nil || r.Telemetry.Trace == nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "{\"ev\":\"run\",\"design\":%q,\"bench\":%q,\"seed\":%d,\"events\":%d}\n",
+			design, benches[i], r.Options.Seed, r.Telemetry.Trace.Len()); err != nil {
+			return err
+		}
+		if err := r.Telemetry.Trace.WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

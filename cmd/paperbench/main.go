@@ -6,31 +6,47 @@
 //	paperbench -exp all          # everything (several minutes)
 //	paperbench -exp f9 -n 4000   # one experiment, smaller runs
 //	paperbench -exp f9 -j 8      # fan the sweep out to 8 workers
+//	paperbench -exp telemetry -heatmap -sample 200
 //
-// Experiments: t1 t2 t3 t4 f7 f8 f9 headline all
+// Experiments: t1 t2 t3 t4 f7 f8 f9 headline energy power telemetry all
+//
+// The telemetry section compares designs A, D, and F side by side on one
+// benchmark with cycle-level probes: -heatmap prints ASCII link/bank
+// heatmaps, -sample N prints queue-occupancy time series, -trace F
+// writes the flit-level JSONL trace. Passing any of those flags appends
+// the section after the selected experiments.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"nucanet/internal/bank"
+	"nucanet/internal/cliutil"
 	"nucanet/internal/config"
 	"nucanet/internal/core"
 	"nucanet/internal/mem"
+	"nucanet/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: t1 t2 t3 t4 f7 f8 f9 headline all")
-		n    = flag.Int("n", 8000, "measured L2 accesses per run")
-		seed = flag.Uint64("seed", 42, "random seed")
-		jobs = flag.Int("j", 0, "parallel runs per sweep (0 = one per core, 1 = sequential)")
+		exp      = flag.String("exp", "all", "experiment: t1 t2 t3 t4 f7 f8 f9 headline energy power telemetry all")
+		n        = flag.Int("n", 8000, "measured L2 accesses per run")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		jobs     = cliutil.Jobs(flag.CommandLine)
+		traceOut = flag.String("trace", "", "telemetry section: write the flit-level JSONL trace to this file ('-' = stdout)")
+		heatmap  = flag.Bool("heatmap", false, "telemetry section: print ASCII link/bank heatmaps per design")
+		sample   = flag.Int("sample", 0, "telemetry section: sample queue occupancy every N cycles")
 	)
 	flag.Parse()
-	cfg := core.ExpConfig{Accesses: *n, Seed: *seed, Workers: *jobs}
+	workers, err := cliutil.ResolveJobs(*jobs)
+	fatal(err)
+	cfg := core.ExpConfig{Accesses: *n, Seed: *seed, Workers: workers}
+	tcfg := telemetry.Config{Trace: *traceOut != "", Heatmap: *heatmap, SampleEvery: *sample}
 
 	run := map[string]func(core.ExpConfig){
 		"t1": func(core.ExpConfig) { table1() },
@@ -38,9 +54,10 @@ func main() {
 		"t3": func(core.ExpConfig) { table3() },
 		"t4": func(core.ExpConfig) { table4() },
 		"f7": fig7, "f8": fig8, "f9": fig9,
-		"headline": headline,
-		"energy":   energyExp,
-		"power":    powerExp,
+		"headline":  headline,
+		"energy":    energyExp,
+		"power":     powerExp,
+		"telemetry": func(c core.ExpConfig) { telemetryExp(c, tcfg, *traceOut) },
 	}
 	order := []string{"t1", "t2", "t3", "t4", "f7", "f8", "f9", "headline", "energy", "power"}
 
@@ -48,15 +65,21 @@ func main() {
 		for _, e := range order {
 			run[e](cfg)
 		}
+		if tcfg.Enabled() {
+			telemetryExp(cfg, tcfg, *traceOut)
+		}
 		return
 	}
 	f, ok := run[*exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (want %s or all)\n",
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (want %s, telemetry, or all)\n",
 			*exp, strings.Join(order, " "))
 		os.Exit(1)
 	}
 	f(cfg)
+	if tcfg.Enabled() && *exp != "telemetry" {
+		telemetryExp(cfg, tcfg, *traceOut)
+	}
 }
 
 func header(s string) {
@@ -110,10 +133,11 @@ func fig7(cfg core.ExpConfig) {
 	header("Figure 7: L2 access latency split, unicast LRU, Design A")
 	rows, rep, err := core.Fig7(cfg)
 	fatal(err)
-	fmt.Println("benchmark   bank%   network%   memory%")
+	fmt.Println("benchmark   bank%   network%   memory%     p50     p99")
 	var b, nw, m float64
 	for _, r := range rows {
-		fmt.Printf("  %-9s %5.1f      %5.1f     %5.1f\n", r.Benchmark, r.BankPct, r.NetPct, r.MemPct)
+		fmt.Printf("  %-9s %5.1f      %5.1f     %5.1f   %5d   %5d\n",
+			r.Benchmark, r.BankPct, r.NetPct, r.MemPct, r.P50, r.P99)
 		b += r.BankPct
 		nw += r.NetPct
 		m += r.MemPct
@@ -194,6 +218,8 @@ func fig9(cfg core.ExpConfig) {
 	}
 	fmt.Println()
 	sums := map[string]float64{}
+	p50s := map[string]int64{}
+	p99s := map[string]int64{}
 	count := 0
 	var cur string
 	for _, c := range cells {
@@ -207,6 +233,8 @@ func fig9(cfg core.ExpConfig) {
 		}
 		fmt.Printf(" %5.3f", c.NormalizedIPC)
 		sums[c.DesignID] += c.NormalizedIPC
+		p50s[c.DesignID] += c.P50
+		p99s[c.DesignID] += c.P99
 	}
 	fmt.Println()
 	fmt.Printf("%-9s", "avg")
@@ -214,6 +242,20 @@ func fig9(cfg core.ExpConfig) {
 		fmt.Printf(" %5.3f", sums[d.ID]/float64(count))
 	}
 	fmt.Println("\n(paper avgs: A 1.00, B ~1.00, C 0.86, D 0.88, E 1.12, F 1.13)")
+	// Tail view: per-design access-latency percentiles averaged over the
+	// benchmarks (mean of the per-run percentile estimates, not the
+	// percentile of a pooled distribution).
+	k := int64(count)
+	fmt.Printf("%-9s", "p50 avg")
+	for _, d := range config.Designs() {
+		fmt.Printf(" %5d", p50s[d.ID]/k)
+	}
+	fmt.Println()
+	fmt.Printf("%-9s", "p99 avg")
+	for _, d := range config.Designs() {
+		fmt.Printf(" %5d", p99s[d.ID]/k)
+	}
+	fmt.Println()
 	sweepLine(rep)
 }
 
@@ -256,6 +298,66 @@ func powerExp(cfg core.ExpConfig) {
 			c.WaysOn, c.CapacityKB, 100*c.HitRate, c.IPC, c.Energy.PerAccessNJ())
 	}
 	sweepLine(rep)
+}
+
+// telemetryExp runs the cycle-level probe comparison: designs A (mesh),
+// D (simplified mesh), F (halo) side by side on gcc under multicast
+// Fast-LRU, printing whatever probes the flags selected. Invoked with no
+// probe flags (-exp telemetry alone) it defaults to heatmaps plus a
+// 200-cycle time series.
+func telemetryExp(cfg core.ExpConfig, tcfg telemetry.Config, traceOut string) {
+	header("Telemetry: spatial and temporal view, designs A / D / F on gcc")
+	if !tcfg.Enabled() {
+		tcfg = telemetry.Config{Heatmap: true, SampleEvery: 200}
+	}
+	runs, rep, err := core.TelemetryCompare(cfg, "gcc", tcfg)
+	fatal(err)
+	for _, tr := range runs {
+		r := tr.Result
+		fmt.Printf("-- design %s: IPC %.4f, avg latency %.1f, p50 %d, p99 %d, max %d\n",
+			tr.DesignID, r.IPC, r.AvgLatency,
+			r.Latency.Percentile(0.50), r.Latency.Percentile(0.99), r.Latency.MaxLat)
+		if tel := r.Telemetry; tel != nil {
+			if tel.Heat != nil {
+				tel.Heat.Render(os.Stdout)
+			}
+			if tel.Series != nil {
+				tel.Series.Render(os.Stdout)
+			}
+		}
+	}
+	if traceOut != "" {
+		fatal(writeTelemetryTraces(traceOut, runs))
+	}
+	sweepLine(rep)
+}
+
+// writeTelemetryTraces serializes the comparison's event traces as one
+// JSONL stream in design order, each run led by a {"ev":"run"} meta line.
+func writeTelemetryTraces(path string, runs []core.TelemetryRun) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	for _, tr := range runs {
+		tel := tr.Result.Telemetry
+		if tel == nil || tel.Trace == nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "{\"ev\":\"run\",\"design\":%q,\"bench\":\"gcc\",\"seed\":%d,\"events\":%d}\n",
+			tr.DesignID, tr.Result.Options.Seed, tel.Trace.Len()); err != nil {
+			return err
+		}
+		if err := tel.Trace.WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sweepLine reports the engine's accounting for one sweep: total wall

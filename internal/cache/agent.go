@@ -39,6 +39,7 @@ func (a *agent) access(now int64, dur int) int64 {
 	}
 	a.busyUntil = start + int64(dur)
 	a.Accesses++
+	a.sys.tel.BankAccess(a.col, a.pos)
 	return a.busyUntil
 }
 
@@ -146,6 +147,7 @@ func (a *agent) probe(o *op, now int64) {
 	lat := a.bk.Latency()
 	way, hit := a.bk.Lookup(o.set, o.tag)
 	if hit {
+		a.sys.tel.BankHit(a.col, a.pos)
 		fin := a.access(now, lat.TagRepl) // tag match + data read
 		o.bankCycles += int64(lat.TagRepl)
 		o.hitPos = a.pos
@@ -270,6 +272,7 @@ func (a *agent) combined(m *blockMsg, now int64) {
 
 	way, hit := a.bk.Lookup(o.set, o.tag)
 	if hit {
+		a.sys.tel.BankHit(a.col, a.pos)
 		blk := a.bk.Remove(o.set, way)
 		if o.req.Write {
 			blk.Dirty = true

@@ -11,6 +11,7 @@ import (
 	"nucanet/internal/routing"
 	"nucanet/internal/sim"
 	"nucanet/internal/stats"
+	"nucanet/internal/telemetry"
 	"nucanet/internal/topology"
 	"nucanet/internal/trace"
 )
@@ -31,6 +32,7 @@ type System struct {
 	Lat    *stats.Latency
 
 	agents [][]*agent // [column][position]
+	tel    *telemetry.Collector
 }
 
 // New builds a system over a fresh kernel-registered network.
@@ -61,6 +63,22 @@ func New(k *sim.Kernel, d config.Design, policy Policy, mode Mode) *System {
 	s.Net.Attach(topo.Core, flit.ToCore, s.Ctrl)
 	s.Memory = mem.New(k, s.Net, mem.DefaultConfig())
 	return s
+}
+
+// EnableTelemetry installs the probe collector across the system: the
+// routers (flit trace, link heatmap), the bank agents (per-bank access
+// and hit counts), and — when sampling is on — a sim.Observer polling
+// queue occupancy and in-flight operations. Call after New and before
+// issuing traffic; registering here keeps the observer's component id
+// above every working component, so it ticks last within a cycle.
+func (s *System) EnableTelemetry(c *telemetry.Collector) {
+	s.tel = c
+	s.Net.SetTelemetry(c)
+	if every := c.SampleEvery(); every > 0 {
+		sim.Observe(s.K, every, func(now int64) {
+			c.Sample(now, s.Net.InFlight(), s.Ctrl.Pending())
+		})
+	}
 }
 
 // bankNode returns the router of the bank at (column, position).

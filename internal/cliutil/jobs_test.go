@@ -1,0 +1,45 @@
+package cliutil
+
+import (
+	"flag"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestJobsFlagRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	j := Jobs(fs)
+	if err := fs.Parse([]string{"-j", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if *j != 8 {
+		t.Fatalf("parsed -j = %d, want 8", *j)
+	}
+}
+
+func TestResolveJobs(t *testing.T) {
+	cases := []struct {
+		in      int
+		want    int
+		wantErr string
+	}{
+		{in: 0, want: runtime.GOMAXPROCS(0)},
+		{in: 1, want: 1},
+		{in: 16, want: 16},
+		{in: -1, wantErr: "invalid -j -1"},
+		{in: -100, wantErr: "invalid -j -100"},
+	}
+	for _, c := range cases {
+		got, err := ResolveJobs(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("ResolveJobs(%d) err = %v, want containing %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ResolveJobs(%d) = %d, %v, want %d", c.in, got, err, c.want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"nucanet/internal/network"
 	"nucanet/internal/sim"
 	"nucanet/internal/stats"
+	"nucanet/internal/telemetry"
 	"nucanet/internal/trace"
 )
 
@@ -37,6 +38,9 @@ type Options struct {
 	Accesses int
 	Seed     uint64
 	CPU      cpu.Config
+	// Telemetry selects cycle-level probes (flit trace, heatmaps, time
+	// series). The zero value disables them all at zero cost.
+	Telemetry telemetry.Config
 }
 
 // DefaultOptions returns the baseline configuration: Design A, multicast
@@ -83,6 +87,10 @@ type Result struct {
 	// Energy is the activity-based energy estimate of the run (the
 	// paper's stated future-work analysis; see internal/energy).
 	Energy energy.Report
+
+	// Telemetry holds the run's probe data when Options.Telemetry enabled
+	// any probe; nil otherwise.
+	Telemetry *telemetry.Collector
 }
 
 // Run executes one simulation to completion. Each run owns its kernel,
@@ -117,6 +125,13 @@ func Run(opt Options) (Result, error) {
 	}
 	cpuCfg.Seed = opt.Seed
 	c := cpu.New(k, sys, prof, accs, cpuCfg)
+	// Telemetry is wired after every working component so its sampling
+	// observer registers with the highest component id and ticks last
+	// within a cycle (see sim.Observer).
+	tel := telemetry.New(opt.Telemetry, sys.Topo)
+	if tel != nil {
+		sys.EnableTelemetry(tel)
+	}
 	res, err := c.Run(1 << 40)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s/%v/%v/%s: %w",
@@ -125,6 +140,7 @@ func Run(opt Options) (Result, error) {
 	if err := sys.Drain(1 << 30); err != nil {
 		return Result{}, err
 	}
+	tel.Finish(k.Now())
 
 	bank, net, memShare := sys.Lat.Shares()
 	netStats := sys.Net.Stats()
@@ -156,5 +172,6 @@ func Run(opt Options) (Result, error) {
 		Memory:       memStats,
 		Latency:      sys.Lat.Clone(),
 		Energy:       erep,
+		Telemetry:    tel,
 	}, nil
 }

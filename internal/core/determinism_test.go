@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"nucanet/internal/cache"
+	"nucanet/internal/telemetry"
 )
 
 // fingerprint serializes every measurement of a result slice into a
@@ -81,6 +82,73 @@ func TestParallelEngineDeterminism(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// telemetryFingerprint serializes every telemetry artifact of a result
+// slice — the JSONL trace, the rendered heatmap, and the rendered time
+// series — into one stable byte form.
+func telemetryFingerprint(t *testing.T, rs []Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, r := range rs {
+		tel := r.Telemetry
+		if tel == nil || tel.Trace == nil || tel.Heat == nil || tel.Series == nil {
+			t.Fatalf("run %d: telemetry artifacts missing: %+v", i, tel)
+		}
+		fmt.Fprintf(&buf, "run %d: %d events\n", i, tel.Trace.Len())
+		if err := tel.Trace.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		tel.Heat.Render(&buf)
+		tel.Series.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestTelemetryDeterministicAcrossWorkers pins the telemetry subsystem's
+// two guarantees at once: (1) for a fixed seed the full probe output —
+// event trace JSONL, heatmap render, time series render — is
+// byte-identical whether the sweep runs sequentially or on 8 workers;
+// (2) turning the probes on does not perturb the simulation itself (the
+// measurement fingerprints with and without telemetry match).
+func TestTelemetryDeterministicAcrossWorkers(t *testing.T) {
+	accesses := 300
+	if testing.Short() {
+		accesses = 100
+	}
+	var plain, probed []Options
+	for _, id := range []string{"A", "F"} { // mesh and halo topologies
+		for _, seed := range []uint64{7, 42} {
+			o := Options{
+				DesignID: id, Policy: cache.FastLRU, Mode: cache.Multicast,
+				Benchmark: "gcc", Accesses: accesses, Seed: seed,
+			}
+			plain = append(plain, o)
+			o.Telemetry = telemetry.Config{Trace: true, Heatmap: true, SampleEvery: 50}
+			probed = append(probed, o)
+		}
+	}
+	seq, _, err := NewEngine(1).RunAll(probed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := NewEngine(8).RunAll(probed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(telemetryFingerprint(t, seq), telemetryFingerprint(t, par)) {
+		t.Error("telemetry output differs between j=1 and j=8")
+	}
+
+	// Zero perturbation: the observed runs report the same measurements
+	// as unobserved ones.
+	base, _, err := NewEngine(8).RunAll(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, base), fingerprint(t, seq)) {
+		t.Error("enabling telemetry perturbed the simulation measurements")
 	}
 }
 

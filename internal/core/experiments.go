@@ -8,6 +8,7 @@ import (
 	"nucanet/internal/cache"
 	"nucanet/internal/config"
 	"nucanet/internal/energy"
+	"nucanet/internal/telemetry"
 	"nucanet/internal/trace"
 )
 
@@ -63,6 +64,9 @@ func (cfg ExpConfig) sweep(opts []Options) ([]Result, SweepReport, error) {
 type Fig7Row struct {
 	Benchmark               string
 	BankPct, NetPct, MemPct float64
+	// P50 and P99 are the access-latency percentiles from the run's
+	// log-bucketed histogram (cycles).
+	P50, P99 int64
 }
 
 // Fig7 regenerates Figure 7.
@@ -83,6 +87,8 @@ func Fig7(cfg ExpConfig) ([]Fig7Row, SweepReport, error) {
 			BankPct:   100 * r.BankShare,
 			NetPct:    100 * r.NetworkShare,
 			MemPct:    100 * r.MemShare,
+			P50:       r.Latency.Percentile(0.50),
+			P99:       r.Latency.Percentile(0.99),
 		}
 	}
 	return out, rep, nil
@@ -132,6 +138,10 @@ type Fig9Cell struct {
 	IPC           float64
 	NormalizedIPC float64 // relative to Design A on the same benchmark
 	AvgLat        float64
+	// P50 and P99 are the access-latency percentiles (cycles): the tail
+	// view the averages hide — halo designs shorten the tail, not just
+	// the mean.
+	P50, P99 int64
 }
 
 // Fig9 regenerates Figure 9: Designs A-F with multicast Fast-LRU.
@@ -159,6 +169,8 @@ func Fig9(cfg ExpConfig) ([]Fig9Cell, SweepReport, error) {
 		cells[i].IPC = r.IPC
 		cells[i].NormalizedIPC = r.IPC / baseIPC
 		cells[i].AvgLat = r.AvgLatency
+		cells[i].P50 = r.Latency.Percentile(0.50)
+		cells[i].P99 = r.Latency.Percentile(0.99)
 	}
 	return cells, rep, nil
 }
@@ -362,4 +374,32 @@ func uniformSpecs(n int) []bank.Spec {
 		out[i] = bank.Spec{SizeKB: 64, Ways: 1}
 	}
 	return out
+}
+
+// TelemetryRun is one design's telemetry capture from TelemetryCompare.
+type TelemetryRun struct {
+	DesignID string
+	Result   Result
+}
+
+// TelemetryCompare runs a mesh (A), a simplified mesh (D), and a halo
+// (F) on one benchmark with the given probes under multicast Fast-LRU —
+// the side-by-side spatial view of how the three topologies spread the
+// same workload's traffic.
+func TelemetryCompare(cfg ExpConfig, bench string, tcfg telemetry.Config) ([]TelemetryRun, SweepReport, error) {
+	ids := []string{"A", "D", "F"}
+	opts := make([]Options, len(ids))
+	for i, id := range ids {
+		opts[i] = cfg.run(id, cache.FastLRU, cache.Multicast, bench)
+		opts[i].Telemetry = tcfg
+	}
+	rs, rep, err := cfg.sweep(opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	out := make([]TelemetryRun, len(rs))
+	for i, r := range rs {
+		out[i] = TelemetryRun{DesignID: ids[i], Result: r}
+	}
+	return out, rep, nil
 }

@@ -11,6 +11,7 @@ import (
 	"nucanet/internal/router"
 	"nucanet/internal/routing"
 	"nucanet/internal/sim"
+	"nucanet/internal/telemetry"
 	"nucanet/internal/topology"
 )
 
@@ -85,6 +86,14 @@ func New(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg rout
 		})
 	}
 	return n
+}
+
+// SetTelemetry installs the probe collector on every router (nil
+// disables all probes). Call before the simulation starts.
+func (n *Network) SetTelemetry(c *telemetry.Collector) {
+	for _, r := range n.Routers {
+		r.SetTelemetry(c)
+	}
 }
 
 // Attach binds an endpoint to a router for one endpoint class.

@@ -20,6 +20,7 @@ import (
 	"nucanet/internal/flit"
 	"nucanet/internal/routing"
 	"nucanet/internal/sim"
+	"nucanet/internal/telemetry"
 	"nucanet/internal/topology"
 )
 
@@ -138,6 +139,7 @@ type Router struct {
 	replRR int
 
 	stats Stats
+	tel   *telemetry.Collector // nil when probes are disabled
 }
 
 // New creates an unwired router; the network package connects neighbors,
@@ -194,6 +196,9 @@ func (r *Router) SetDeliver(f func(*flit.Packet, int64)) { r.deliver = f }
 // SetKernelID records the component id for activations.
 func (r *Router) SetKernelID(id int) { r.kid = id }
 
+// SetTelemetry installs the probe collector (nil disables all probes).
+func (r *Router) SetTelemetry(c *telemetry.Collector) { r.tel = c }
+
 // KernelID returns the registered component id.
 func (r *Router) KernelID() int { return r.kid }
 
@@ -208,6 +213,7 @@ func (r *Router) Inject(p *flit.Packet, now int64) {
 	r.injVC = (r.injVC + 1) % len(vcs)
 	for _, f := range flit.Flitize(p) {
 		v.q = append(v.q, entry{f: f, arrived: now})
+		r.tel.FlitInjected(now, f, int(r.ID))
 	}
 	r.k.Activate(r.kid)
 }
@@ -245,7 +251,7 @@ func (r *Router) Tick(now int64) bool {
 				r.assignRoute(v, e.f.Pkt)
 			}
 			if v.route != unassigned && v.route != ejectOut && v.outVC == unassigned {
-				r.allocVC(v, e.f.Pkt)
+				r.allocVC(v, e.f.Pkt, now)
 			}
 			if v.replNeed && v.replPort == unassigned {
 				r.allocReplica(v, pi)
@@ -321,12 +327,13 @@ func (r *Router) assignRoute(v *vcState, pkt *flit.Packet) {
 }
 
 // allocVC claims a free downstream VC for the packet.
-func (r *Router) allocVC(v *vcState, pkt *flit.Packet) {
+func (r *Router) allocVC(v *vcState, pkt *flit.Packet, now int64) {
 	o := r.out[v.route]
 	for i := range o.owner {
 		if o.owner[i] == nil {
 			o.owner[i] = pkt
 			v.outVC = i
+			r.tel.VCAllocated(now, pkt, int(r.ID), v.route, i)
 			return
 		}
 	}
@@ -435,6 +442,7 @@ func (r *Router) traverse(v *vcState, pi, o int, isEject bool, now int64) {
 		up := r.upstream[v.replPort]
 		up.out[r.upstreamOP[v.replPort]].credits[v.replVC]--
 		r.stats.ReplicasSpawned++
+		r.tel.ReplicaForked(now, rf, int(r.ID), v.replPort, v.replVC)
 		r.k.Activate(r.kid)
 		if e.f.Tail {
 			// Replica complete; upstream claim is released when the
@@ -445,6 +453,9 @@ func (r *Router) traverse(v *vcState, pi, o int, isEject bool, now int64) {
 
 	if isEject {
 		pkt := e.f.Pkt
+		// Emit before deliver: delivery can synchronously inject a
+		// response, and the trace must stay in chronological order.
+		r.tel.FlitEjected(now, e.f, int(r.ID), pi)
 		if e.f.Head {
 			// Cut-through endpoint interface: the endpoint starts
 			// processing at head arrival; body flits drain behind it
@@ -472,6 +483,7 @@ func (r *Router) traverse(v *vcState, pi, o int, isEject bool, now int64) {
 
 	n := r.neighbor[o]
 	out := r.out[o]
+	r.tel.FlitRouted(now, e.f, int(r.ID), o, v.outVC)
 	out.credits[v.outVC]--
 	dst := n.in[r.neighborIn[o]][v.outVC]
 	arr := now + int64(r.linkDelay[o]-1)

@@ -38,6 +38,11 @@ type Latency struct {
 	OccCount int64
 	OccSum   int64
 
+	// Hist buckets every access latency so the tail (p50/p90/p99) is
+	// reportable, not just the mean; Merge combines bucket-exactly across
+	// runs of a parallel sweep.
+	Hist Histogram
+
 	hitWays []int64
 }
 
@@ -66,6 +71,7 @@ func (l *Latency) RecordMiss(lat int64, b Breakdown) {
 func (l *Latency) record(lat int64, b Breakdown) {
 	l.Count++
 	l.Sum += lat
+	l.Hist.Record(lat)
 	if lat > l.MaxLat {
 		l.MaxLat = lat
 	}
@@ -104,6 +110,7 @@ func (l *Latency) Merge(o *Latency) {
 	l.Memory += o.Memory
 	l.OccCount += o.OccCount
 	l.OccSum += o.OccSum
+	l.Hist.Merge(&o.Hist)
 	if len(o.hitWays) > len(l.hitWays) {
 		grown := make([]int64, len(o.hitWays))
 		copy(grown, l.hitWays)
@@ -134,6 +141,10 @@ func (l *Latency) AvgMiss() float64 { return ratio(l.MissSum, l.Misses) }
 
 // HitRate returns hits / accesses.
 func (l *Latency) HitRate() float64 { return ratio(l.Hits, l.Count) }
+
+// Percentile returns the q-quantile of the access-latency distribution
+// (see Histogram.Percentile for the error bound).
+func (l *Latency) Percentile(q float64) int64 { return l.Hist.Percentile(q) }
 
 // Shares returns the bank/network/memory fractions of total latency —
 // the Figure 7 split. They sum to 1 for a non-empty run.

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nucanet/internal/topology"
+)
+
+// Heatmap accumulates the spatial counters of one run over a topology:
+// flits per directed link, per-router ejections, multicast forks, and
+// per-bank access/hit counts. Render writes deterministic ASCII views —
+// iteration is always in index order and ties sort by (node, port), so
+// equal runs render byte-identically.
+type Heatmap struct {
+	// Cycles is the run length, stamped by Collector.Finish; the
+	// denominator for link utilization.
+	Cycles int64
+	// LinkFlits[n][p] counts flits granted switch traversal out of node
+	// n through neighbor port p; the extra last slot counts local
+	// ejections at n.
+	LinkFlits [][]uint64
+	// Forks counts multicast replicas spawned per node.
+	Forks []uint64
+	// BankAccesses and BankHits count per-bank activity as
+	// [column][position] (position 0 = MRU bank).
+	BankAccesses [][]uint64
+	BankHits     [][]uint64
+
+	topo *topology.Topology
+}
+
+// NewHeatmap sizes every counter for topo.
+func NewHeatmap(topo *topology.Topology) *Heatmap {
+	h := &Heatmap{topo: topo}
+	h.LinkFlits = make([][]uint64, topo.NumNodes())
+	for n := range h.LinkFlits {
+		h.LinkFlits[n] = make([]uint64, topo.NumPorts(n)+1)
+	}
+	h.Forks = make([]uint64, topo.NumNodes())
+	h.BankAccesses = make([][]uint64, topo.Columns())
+	h.BankHits = make([][]uint64, topo.Columns())
+	for c := range h.BankAccesses {
+		h.BankAccesses[c] = make([]uint64, topo.Ways())
+		h.BankHits[c] = make([]uint64, topo.Ways())
+	}
+	return h
+}
+
+func (h *Heatmap) link(n, p int) { h.LinkFlits[n][p]++ }
+func (h *Heatmap) eject(n int) {
+	lf := h.LinkFlits[n]
+	lf[len(lf)-1]++
+}
+func (h *Heatmap) fork(n int)          { h.Forks[n]++ }
+func (h *Heatmap) bankAccess(c, p int) { h.BankAccesses[c][p]++ }
+func (h *Heatmap) bankHit(c, p int)    { h.BankHits[c][p]++ }
+
+// NodeFlits returns the total flits node n moved (links + ejections).
+func (h *Heatmap) NodeFlits(n int) uint64 {
+	var s uint64
+	for _, c := range h.LinkFlits[n] {
+		s += c
+	}
+	return s
+}
+
+// Link is one directed link's count, exported by HotLinks.
+type Link struct {
+	Node, Port int
+	To         int
+	Flits      uint64
+}
+
+// HotLinks returns the topology's directed links sorted hottest-first
+// (ties break by ascending node then port, keeping the order total).
+func (h *Heatmap) HotLinks() []Link {
+	var out []Link
+	for n := range h.LinkFlits {
+		for p := 0; p < len(h.LinkFlits[n])-1; p++ {
+			l, ok := h.topo.Link(n, p)
+			if !ok {
+				continue
+			}
+			out = append(out, Link{Node: n, Port: p, To: l.To, Flits: h.LinkFlits[n][p]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flits != out[j].Flits {
+			return out[i].Flits > out[j].Flits
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// heatRamp maps intensity 0..9 to a character.
+const heatRamp = " .:-=+*#%@"
+
+func rampChar(v, max uint64) byte {
+	if max == 0 || v == 0 {
+		return heatRamp[0]
+	}
+	i := int(v * 9 / max)
+	if i > 9 {
+		i = 9
+	}
+	if i == 0 {
+		i = 1 // non-zero activity always renders visibly
+	}
+	return heatRamp[i]
+}
+
+// Render writes the full ASCII heatmap report: the per-node flit grid,
+// the hottest links, and the per-bank access/hit table.
+func (h *Heatmap) Render(w io.Writer) {
+	h.RenderNodes(w)
+	h.RenderLinks(w, 8)
+	h.RenderBanks(w)
+}
+
+// RenderNodes draws the per-node flit-throughput grid at the topology's
+// render coordinates (row 0 on top; for halos that row is the hub).
+func (h *Heatmap) RenderNodes(w io.Writer) {
+	gw, gh := h.topo.RenderSize()
+	grid := make([][]int, gh) // node id per cell, -1 = empty
+	for y := range grid {
+		grid[y] = make([]int, gw)
+		for x := range grid[y] {
+			grid[y][x] = -1
+		}
+	}
+	var max uint64
+	for n := 0; n < h.topo.NumNodes(); n++ {
+		x, y := h.topo.RenderCoord(n)
+		grid[y][x] = n
+		if f := h.NodeFlits(n); f > max {
+			max = f
+		}
+	}
+	fmt.Fprintf(w, "node flit heatmap (%s %dx%d, max %d flits/node, %d cycles)\n",
+		h.topo.Kind, gw, gh, max, h.Cycles)
+	row := make([]byte, gw)
+	for y := 0; y < gh; y++ {
+		for x := 0; x < gw; x++ {
+			if n := grid[y][x]; n >= 0 {
+				row[x] = rampChar(h.NodeFlits(n), max)
+			} else {
+				row[x] = ' '
+			}
+		}
+		fmt.Fprintf(w, "  |%s|\n", row)
+	}
+	fmt.Fprintf(w, "  scale \"%s\" = 0..%d\n", heatRamp, max)
+}
+
+// RenderLinks lists the topN hottest directed links with utilization
+// (flits per cycle) when the run length is known.
+func (h *Heatmap) RenderLinks(w io.Writer, topN int) {
+	links := h.HotLinks()
+	if len(links) > topN {
+		links = links[:topN]
+	}
+	fmt.Fprintf(w, "hottest links (of %d)\n", h.topo.CountLinks())
+	for _, l := range links {
+		fx, fy := h.topo.RenderCoord(l.Node)
+		tx, ty := h.topo.RenderCoord(l.To)
+		if h.Cycles > 0 {
+			fmt.Fprintf(w, "  (%2d,%2d)->(%2d,%2d) port %d  %8d flits  %5.1f%% util\n",
+				fx, fy, tx, ty, l.Port, l.Flits, 100*float64(l.Flits)/float64(h.Cycles))
+		} else {
+			fmt.Fprintf(w, "  (%2d,%2d)->(%2d,%2d) port %d  %8d flits\n",
+				fx, fy, tx, ty, l.Port, l.Flits)
+		}
+	}
+}
+
+// RenderBanks draws the bank access grid (rows = column position, MRU
+// first) plus per-position totals and hit rates — the spatial view of
+// the paper's MRU-concentration argument.
+func (h *Heatmap) RenderBanks(w io.Writer) {
+	cols := len(h.BankAccesses)
+	if cols == 0 {
+		return
+	}
+	ways := len(h.BankAccesses[0])
+	var max uint64
+	for c := 0; c < cols; c++ {
+		for p := 0; p < ways; p++ {
+			if v := h.BankAccesses[c][p]; v > max {
+				max = v
+			}
+		}
+	}
+	fmt.Fprintf(w, "bank access heatmap (%d columns x %d ways, max %d accesses/bank)\n",
+		cols, ways, max)
+	row := make([]byte, cols)
+	for p := 0; p < ways; p++ {
+		var acc, hits uint64
+		for c := 0; c < cols; c++ {
+			row[c] = rampChar(h.BankAccesses[c][p], max)
+			acc += h.BankAccesses[c][p]
+			hits += h.BankHits[c][p]
+		}
+		rate := 0.0
+		if acc > 0 {
+			rate = 100 * float64(hits) / float64(acc)
+		}
+		fmt.Fprintf(w, "  way %2d |%s| %8d acc  %5.1f%% hit\n", p, row, acc, rate)
+	}
+}

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// Series is the time-series channel of the probe layer: network queue
+// occupancy (flits buffered anywhere) and in-flight operations at the
+// cache controller, sampled every Every cycles by a sim.Observer.
+type Series struct {
+	Every    int64
+	Cycle    []int64
+	InFlight []int32 // flits buffered in the network
+	Pending  []int32 // operations queued or active at the controller
+}
+
+func (s *Series) add(now int64, inFlight, pending int) {
+	s.Cycle = append(s.Cycle, now)
+	s.InFlight = append(s.InFlight, int32(inFlight))
+	s.Pending = append(s.Pending, int32(pending))
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Cycle) }
+
+func stats32(v []int32) (max int32, avg float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	var sum int64
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+		sum += int64(x)
+	}
+	return max, float64(sum) / float64(len(v))
+}
+
+// spark downsamples v to at most width points and renders each as a
+// digit 0-9 scaled to the series maximum — a dependency-free sparkline.
+func spark(v []int32, width int) string {
+	if len(v) == 0 {
+		return ""
+	}
+	step := (len(v) + width - 1) / width
+	max, _ := stats32(v)
+	out := make([]byte, 0, width)
+	for i := 0; i < len(v); i += step {
+		// Peak within the window, so bursts survive downsampling.
+		var peak int32
+		for j := i; j < i+step && j < len(v); j++ {
+			if v[j] > peak {
+				peak = v[j]
+			}
+		}
+		d := byte('0')
+		if max > 0 {
+			d = byte('0' + int(int64(peak)*9/int64(max)))
+		}
+		out = append(out, d)
+	}
+	return string(out)
+}
+
+// Render writes a deterministic summary: sample count, max/mean of each
+// channel, and 0-9 sparklines over the run.
+func (s *Series) Render(w io.Writer) {
+	fmt.Fprintf(w, "time series (%d samples, every %d cycles)\n", s.Len(), s.Every)
+	if s.Len() == 0 {
+		return
+	}
+	ifMax, ifAvg := stats32(s.InFlight)
+	pdMax, pdAvg := stats32(s.Pending)
+	span := s.Cycle[len(s.Cycle)-1]
+	fmt.Fprintf(w, "  net flits in flight  max %4d  avg %7.2f  [%s]\n", ifMax, ifAvg, spark(s.InFlight, 64))
+	fmt.Fprintf(w, "  ops in flight        max %4d  avg %7.2f  [%s]\n", pdMax, pdAvg, spark(s.Pending, 64))
+	fmt.Fprintf(w, "  span: cycles %d..%d\n", s.Cycle[0], span)
+}

@@ -149,6 +149,31 @@ func (t *Topology) SameColumn(a, b NodeID) bool {
 	return na.Bank >= 0 && nb.Bank >= 0 && na.X == nb.X
 }
 
+// RenderSize returns the grid dimensions for rendering per-node spatial
+// data (telemetry heatmaps): meshes render as W x H at their mesh
+// coordinates; halos render the spikes as columns with an extra hub row
+// on top.
+func (t *Topology) RenderSize() (w, h int) {
+	if t.Kind == Halo {
+		return t.W, t.H + 1
+	}
+	return t.W, t.H
+}
+
+// RenderCoord places node n in the RenderSize grid. Mesh nodes map to
+// their (X, Y); a halo's spike s position p maps to (s, p+1) with the
+// hub centered in row 0. Every node gets a distinct cell.
+func (t *Topology) RenderCoord(n NodeID) (x, y int) {
+	nd := t.Nodes[n]
+	if t.Kind != Halo {
+		return nd.X, nd.Y
+	}
+	if nd.Bank < 0 { // the hub
+		return t.W / 2, 0
+	}
+	return nd.X, nd.Y + 1
+}
+
 // CountLinks returns the number of directed links in the topology.
 func (t *Topology) CountLinks() int {
 	c := 0

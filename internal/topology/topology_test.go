@@ -268,3 +268,39 @@ func TestHubPanicsOnMesh(t *testing.T) {
 	}()
 	NewMesh(std16()).Hub()
 }
+
+// TestRenderCoords pins the telemetry heatmap coordinate export: every
+// node of every topology family maps to a distinct in-bounds grid cell.
+func TestRenderCoords(t *testing.T) {
+	topos := map[string]*Topology{
+		"mesh":       NewMesh(std16()),
+		"simplified": NewSimplifiedMesh(std16()),
+		"halo":       NewHalo(HaloSpec{Spikes: 16, Length: 4}),
+	}
+	for name, topo := range topos {
+		w, h := topo.RenderSize()
+		if w <= 0 || h <= 0 {
+			t.Fatalf("%s: RenderSize = %dx%d", name, w, h)
+		}
+		seen := make(map[[2]int]NodeID)
+		for n := 0; n < topo.NumNodes(); n++ {
+			x, y := topo.RenderCoord(n)
+			if x < 0 || x >= w || y < 0 || y >= h {
+				t.Fatalf("%s: node %d renders out of bounds at (%d,%d) in %dx%d", name, n, x, y, w, h)
+			}
+			if prev, dup := seen[[2]int{x, y}]; dup {
+				t.Fatalf("%s: nodes %d and %d share cell (%d,%d)", name, prev, n, x, y)
+			}
+			seen[[2]int{x, y}] = n
+		}
+	}
+	// Halo specifics: the hub sits centered in its own top row, spikes
+	// below it.
+	halo := topos["halo"]
+	if x, y := halo.RenderCoord(halo.Hub()); x != 8 || y != 0 {
+		t.Fatalf("hub renders at (%d,%d), want (8,0)", x, y)
+	}
+	if _, h := halo.RenderSize(); h != 5 {
+		t.Fatalf("halo render height = %d, want spike length + hub row = 5", h)
+	}
+}
