@@ -4,8 +4,10 @@
 # every benchmark target, and a telemetry smoke run with every probe on.
 
 GO ?= go
+BENCH_COUNT ?= 3
+BENCH_LABEL ?= after
 
-.PHONY: build test check fmt vet race bench smoke clean
+.PHONY: build test check fmt vet race bench benchsmoke smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,10 +29,22 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-# Compile and run every benchmark once (no measurement) so bench_test.go
+# Compile and run every benchmark once (no measurement) so bench files
 # can never rot silently.
-bench:
+benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Measure the hot-path benchmarks (kernel, router steady state, full
+# CoreRun on designs A/D/F). The raw output is benchstat-compatible —
+# save two runs and feed them to benchstat to compare — and the averaged
+# numbers land in BENCH_kernel.json under $(BENCH_LABEL), merged with
+# existing labels (see EXPERIMENTS.md "Benchmarking").
+bench:
+	$(GO) test -run=NONE -benchmem -count=$(BENCH_COUNT) \
+		-bench='BenchmarkKernelRun|BenchmarkRouterSteadyState|BenchmarkCoreRun' . \
+		| tee /tmp/nucanet-bench-$(BENCH_LABEL).txt
+	$(GO) run ./cmd/benchjson -o BENCH_kernel.json -label $(BENCH_LABEL) \
+		< /tmp/nucanet-bench-$(BENCH_LABEL).txt
 
 # Tiny end-to-end run with every telemetry probe on: trace, heatmap,
 # time series, at j=2 — exercises the full probe plumbing through the
@@ -41,7 +55,7 @@ smoke:
 	@rm -f /tmp/nucasim-smoke.jsonl
 	@echo "telemetry smoke: ok"
 
-check: fmt vet race bench smoke
+check: fmt vet race benchsmoke smoke
 
 clean:
 	$(GO) clean ./...

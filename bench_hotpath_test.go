@@ -1,0 +1,218 @@
+// Hot-path benchmarks and allocation guards: the measurements behind
+// BENCH_kernel.json (see `make bench` and EXPERIMENTS.md "Benchmarking").
+//
+// Three layers, innermost first:
+//
+//   - BenchmarkKernelRun: the raw sim.Kernel event loop (Step, Activate,
+//     WakeAt) with a mixed population of self-rearming components;
+//   - BenchmarkRouterSteadyState: a saturated 16x16 mesh moving multicast
+//     block packets down every column — switch allocation, VC allocation,
+//     hybrid replication, and credit return, with the cache protocol out
+//     of the picture;
+//   - BenchmarkCoreRun: the full simulation (cache protocol + CPU model)
+//     on designs A, D, and F — the end-to-end number the ROADMAP's
+//     "as fast as the hardware allows" goal is graded on.
+//
+// The allocation guards pin the zero-allocation steady-state contract:
+// once traffic is in flight, stepping the kernel allocates nothing — no
+// scratch slices, no queue growth, no closure captures, no replica
+// packets from the GC heap.
+package nucanet
+
+import (
+	"testing"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/core"
+	"nucanet/internal/flit"
+	"nucanet/internal/network"
+	"nucanet/internal/router"
+	"nucanet/internal/routing"
+	"nucanet/internal/sim"
+	"nucanet/internal/topology"
+)
+
+// coreRunAccesses matches the acceptance configuration: design X / gcc /
+// 10k measured accesses.
+const coreRunAccesses = 10000
+
+// steadyMesh builds a 16x16 mesh network with null endpoints everywhere
+// and returns an injector that launches one multicast block packet down
+// every column.
+func steadyMesh() (*sim.Kernel, *network.Network, func()) {
+	topo := topology.NewMesh(topology.MeshSpec{W: 16, H: 16, CoreX: 7, MemX: 8})
+	k := sim.NewKernel()
+	net := network.New(k, topo, routing.XY{}, router.DefaultConfig())
+	sink := nullEndpoint{}
+	for id := 0; id < topo.NumNodes(); id++ {
+		net.Attach(id, flit.ToBank, sink)
+	}
+	inject := func() {
+		for c := 0; c < 16; c++ {
+			net.Send(&flit.Packet{
+				Kind: flit.WriteData, Src: topo.Core,
+				Dst: topo.NodeAt(c, 15), DstEp: flit.ToBank,
+				PathDeliver: true,
+			}, k.Now())
+		}
+	}
+	return k, net, inject
+}
+
+// BenchmarkRouterSteadyState measures per-cycle router cost on a mesh
+// kept saturated with multicast block traffic; ns/op is one kernel step
+// (one active cycle across all routers with buffered flits).
+func BenchmarkRouterSteadyState(b *testing.B) {
+	k, net, inject := steadyMesh()
+	inject()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !k.Step() {
+			inject()
+		}
+	}
+	b.StopTimer()
+	st := net.Stats()
+	b.ReportMetric(float64(st.Router.FlitsRouted)/float64(b.N), "flit-hops/cycle")
+	b.ReportMetric(float64(st.Router.ReplicasSpawned)/float64(b.N), "replicas/cycle")
+}
+
+// kernelBenchComp is a self-rearming component: two of three ticks stay
+// hot (Activate), every third parks on a future event (WakeAt) — the mix
+// that exercises the scheduled-id list and the event heap together.
+type kernelBenchComp struct {
+	k      *sim.Kernel
+	id     int
+	period int64
+	n      int
+}
+
+func (c *kernelBenchComp) Tick(now int64) bool {
+	c.n++
+	if c.n%3 == 0 {
+		c.k.WakeAt(now+c.period, c.id)
+		return false
+	}
+	return true
+}
+
+func kernelBenchPopulation(k *sim.Kernel, n int) {
+	for i := 0; i < n; i++ {
+		c := &kernelBenchComp{k: k, period: int64(1 + i%5)}
+		c.id = k.Register(c)
+		k.WakeAt(c.period, c.id)
+	}
+}
+
+// BenchmarkKernelRun measures the simulation kernel's event loop with 64
+// components cycling between next-cycle activations and future events.
+func BenchmarkKernelRun(b *testing.B) {
+	k := sim.NewKernel()
+	kernelBenchPopulation(k, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+// TestRouterSteadyStateZeroAlloc pins the tentpole contract: once warm,
+// a router/network cycle allocates nothing — no switch-allocation
+// scratch, no VC queue growth, no credit-return closures, no replica
+// packets from the GC heap. Injection reuses a fixed set of packets
+// (legal once each prior flight has fully drained), so the measured
+// region is exactly the steady-state network.
+//
+// testing.AllocsPerRun invokes the function once as warm-up before
+// measuring, which absorbs the one-time growth paths (injection-VC ring
+// high-water mark, replica pool population, event-heap capacity).
+func TestRouterSteadyStateZeroAlloc(t *testing.T) {
+	k, net, _ := steadyMesh()
+	topo := net.Topo
+	pkts := make([]*flit.Packet, 16)
+	for c := range pkts {
+		pkts[c] = &flit.Packet{
+			Kind: flit.WriteData, Src: topo.Core,
+			Dst: topo.NodeAt(c, 15), DstEp: flit.ToBank,
+			PathDeliver: true,
+		}
+	}
+	inject := func() {
+		for _, p := range pkts {
+			net.Send(p, k.Now())
+		}
+	}
+	inject()
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 200; i++ {
+			if !k.Step() {
+				inject()
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state network cycle allocates: %.2f allocs per 200 cycles, want 0", avg)
+	}
+}
+
+// TestKernelStepZeroAlloc pins the kernel's half of the contract: Step
+// with a self-rearming component population touches only reused slices
+// and the typed event heap — zero allocations per cycle.
+func TestKernelStepZeroAlloc(t *testing.T) {
+	k := sim.NewKernel()
+	kernelBenchPopulation(k, 64)
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 200; i++ {
+			k.Step()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("kernel Step allocates: %.2f allocs per 200 cycles, want 0", avg)
+	}
+}
+
+// TestSteadyMeshReplicaPoolBalanced drains the saturated mesh and checks
+// the replica freelist's leak invariant at the network level: every
+// pooled packet handed out came back exactly once.
+func TestSteadyMeshReplicaPoolBalanced(t *testing.T) {
+	k, net, inject := steadyMesh()
+	for round := 0; round < 20; round++ {
+		inject()
+		for k.Step() {
+		}
+	}
+	if got := net.InFlight(); got != 0 {
+		t.Fatalf("network did not drain: %d flits in flight", got)
+	}
+	ps := net.PoolStats()
+	if ps.Gets == 0 {
+		t.Fatal("no replicas were spawned; the multicast path did not run")
+	}
+	if ps.Live != 0 || ps.Gets != ps.Puts {
+		t.Fatalf("replica pool leak: gets=%d puts=%d live=%d", ps.Gets, ps.Puts, ps.Live)
+	}
+}
+
+// BenchmarkCoreRun measures the full simulation end to end — the
+// acceptance configuration for the hot-path work: gcc, 10k accesses,
+// multicast Fast-LRU, on the mesh (A), simplified-mesh (D), and halo (F)
+// representatives.
+func BenchmarkCoreRun(b *testing.B) {
+	for _, id := range []string{"A", "D", "F"} {
+		id := id
+		b.Run("design-"+id, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = core.Run(core.Options{
+					DesignID: id, Policy: cache.FastLRU, Mode: cache.Multicast,
+					Benchmark: "gcc", Accesses: coreRunAccesses, Seed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.IPC, "IPC")
+			b.ReportMetric(float64(r.Cycles)/float64(coreRunAccesses), "cycles/access")
+		})
+	}
+}

@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` output into a committable
+// JSON record, merging repeated invocations under named labels so one
+// file can hold before/after snapshots of the same benchmarks:
+//
+//	go test -bench=. -benchmem -count=3 . | benchjson -o BENCH_kernel.json -label after
+//
+// The input is the standard benchmark line format (benchstat's input
+// format): name, iteration count, then value/unit pairs. Samples of the
+// same benchmark (from -count=N) are averaged and the sample count
+// recorded. An existing output file is loaded first and the given label
+// replaced, leaving other labels untouched; context lines (goos, cpu,
+// ...) refresh the file's environment block.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is the file layout: environment context plus one benchmark
+// table per label.
+type Record struct {
+	Env    map[string]string            `json:"env,omitempty"`
+	Labels map[string]map[string]*Bench `json:"labels"`
+}
+
+// Bench is one benchmark's averaged measurements. Units holds every
+// value/unit pair from the bench lines — ns/op, B/op, allocs/op, and any
+// custom ReportMetric units (IPC, flit-hops/cycle, ...).
+type Bench struct {
+	Samples int                `json:"samples"`
+	Iters   int64              `json:"iters"`
+	Units   map[string]float64 `json:"units"`
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON file (loaded and merged if it exists; default stdout)")
+	label := flag.String("label", "run", "label to file these results under")
+	flag.Parse()
+
+	rec := &Record{Env: map[string]string{}, Labels: map[string]map[string]*Bench{}}
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, rec); err != nil {
+				fatal(fmt.Errorf("%s: %w", *out, err))
+			}
+			if rec.Env == nil {
+				rec.Env = map[string]string{}
+			}
+			if rec.Labels == nil {
+				rec.Labels = map[string]map[string]*Bench{}
+			}
+		}
+	}
+
+	table, sums := map[string]*Bench{}, map[string]map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch k {
+			case "goos", "goarch", "pkg", "cpu":
+				rec.Env[k] = v
+			}
+			continue
+		}
+		name, iters, pairs, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		b := table[name]
+		if b == nil {
+			b = &Bench{Units: map[string]float64{}}
+			table[name] = b
+			sums[name] = map[string]float64{}
+		}
+		b.Samples++
+		b.Iters += iters
+		for unit, val := range pairs {
+			sums[name][unit] += val
+		}
+	}
+	fatal(sc.Err())
+	if len(table) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	for name, b := range table {
+		for unit, sum := range sums[name] {
+			b.Units[unit] = sum / float64(b.Samples)
+		}
+	}
+	rec.Labels[*label] = table
+
+	enc, err := marshal(rec)
+	fatal(err)
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	fatal(os.WriteFile(*out, enc, 0o644))
+	names := make([]string, 0, len(table))
+	for n := range table {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("benchjson: %s[%s] <- %d benchmarks (%s)\n",
+		*out, *label, len(table), strings.Join(names, ", "))
+}
+
+// parseBenchLine splits one result line into its name, iteration count,
+// and value/unit pairs. Returns ok=false for non-benchmark lines.
+func parseBenchLine(line string) (name string, iters int64, pairs map[string]float64, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", 0, nil, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", 0, nil, false
+	}
+	pairs = map[string]float64{}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", 0, nil, false
+		}
+		pairs[f[i+1]] = val
+	}
+	return f[0], iters, pairs, true
+}
+
+// marshal renders the record with stable key order (encoding/json sorts
+// map keys) and a trailing newline.
+func marshal(rec *Record) ([]byte, error) {
+	enc, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(enc, '\n'), nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -23,39 +23,32 @@ import (
 	"io"
 	"os"
 
-	"nucanet/internal/cache"
 	"nucanet/internal/cliutil"
 	"nucanet/internal/core"
 	"nucanet/internal/cpu"
-	"nucanet/internal/telemetry"
 	"nucanet/internal/trace"
 )
 
 func main() {
 	var (
-		design   = flag.String("design", "A", "network design (A-F, Table 3)")
-		policy   = flag.String("policy", "fastlru", "replacement policy: promotion, lru, fastlru")
-		mode     = flag.String("mode", "multicast", "request mode: unicast, multicast")
+		design   = cliutil.Design(flag.CommandLine)
 		bench    = flag.String("bench", "gcc", "benchmark profile (Table 2) or 'all'")
 		n        = flag.Int("n", 8000, "measured L2 accesses")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		window   = flag.Int("window", 8, "CPU outstanding-access window (MSHRs)")
 		blocking = flag.Float64("blocking", 0.35, "fraction of reads that stall the core")
 		jobs     = cliutil.Jobs(flag.CommandLine)
-		traceOut = flag.String("trace", "", "write the flit-level JSONL event trace to this file ('-' = stdout)")
-		heatmap  = flag.Bool("heatmap", false, "print ASCII link/bank heatmaps per run")
-		sample   = flag.Int("sample", 0, "sample queue occupancy every N cycles and print the time series")
+		tflags   = cliutil.Telemetry(flag.CommandLine)
 	)
+	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
 
-	p, err := cache.ParsePolicy(*policy)
-	fatal(err)
-	m, err := cache.ParseMode(*mode)
-	fatal(err)
+	p, m := *policy, *mode
 	workers, err := cliutil.ResolveJobs(*jobs)
 	fatal(err)
 
-	tcfg := telemetry.Config{Trace: *traceOut != "", Heatmap: *heatmap, SampleEvery: *sample}
+	traceOut := tflags.TracePath
+	tcfg := tflags.Config()
 	benches := []string{*bench}
 	if *bench == "all" {
 		benches = trace.Names()

@@ -34,19 +34,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: t1 t2 t3 t4 f7 f8 f9 headline energy power telemetry all")
-		n        = flag.Int("n", 8000, "measured L2 accesses per run")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		jobs     = cliutil.Jobs(flag.CommandLine)
-		traceOut = flag.String("trace", "", "telemetry section: write the flit-level JSONL trace to this file ('-' = stdout)")
-		heatmap  = flag.Bool("heatmap", false, "telemetry section: print ASCII link/bank heatmaps per design")
-		sample   = flag.Int("sample", 0, "telemetry section: sample queue occupancy every N cycles")
+		exp    = flag.String("exp", "all", "experiment: t1 t2 t3 t4 f7 f8 f9 headline energy power telemetry all")
+		n      = flag.Int("n", 8000, "measured L2 accesses per run")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		jobs   = cliutil.Jobs(flag.CommandLine)
+		tflags = cliutil.Telemetry(flag.CommandLine)
 	)
 	flag.Parse()
 	workers, err := cliutil.ResolveJobs(*jobs)
 	fatal(err)
 	cfg := core.ExpConfig{Accesses: *n, Seed: *seed, Workers: workers}
-	tcfg := telemetry.Config{Trace: *traceOut != "", Heatmap: *heatmap, SampleEvery: *sample}
+	traceOut := tflags.TracePath
+	tcfg := tflags.Config()
 
 	run := map[string]func(core.ExpConfig){
 		"t1": func(core.ExpConfig) { table1() },

@@ -23,12 +23,11 @@ func main() {
 
 	var base float64
 	for _, s := range core.Fig8Schemes() {
-		opt := core.DefaultOptions()
-		opt.Benchmark = *bench
-		opt.Policy = s.Policy
-		opt.Mode = s.Mode
-		opt.Accesses = *n
-		r, err := core.Run(opt)
+		r, err := core.NewRunner(
+			core.WithBenchmark(*bench),
+			core.WithScheme(s.Policy, s.Mode),
+			core.WithAccesses(*n),
+		).Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,13 +12,15 @@ import (
 )
 
 func main() {
-	opts := core.DefaultOptions() // Design A, multicast Fast-LRU, gcc
-	opts.Accesses = 5000
-	result, err := core.Run(opts)
+	// The Runner starts from the baseline (Design A, multicast Fast-LRU,
+	// gcc) and validates the configuration before simulating.
+	runner := core.NewRunner(core.WithAccesses(5000))
+	result, err := runner.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	opts := result.Options
 	fmt.Printf("simulated %d L2 accesses of %s on design %s (%s)\n",
 		result.Options.Accesses, opts.Benchmark, opts.DesignID, result.Design.Description)
 	fmt.Printf("  IPC: %.3f (perfect-L2 IPC would be %.2f)\n", result.IPC, result.PerfectIPC)
@@ -31,8 +33,7 @@ func main() {
 
 	// Compare against the same design running D-NUCA's original
 	// multicast Promotion policy.
-	opts.Policy = cache.Promotion
-	promo, err := core.Run(opts)
+	promo, err := runner.With(core.WithScheme(cache.Promotion, cache.Multicast)).Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -26,10 +26,13 @@ func main() {
 
 	var baseIPC float64
 	for _, d := range config.Designs() {
-		r, err := core.Run(core.Options{
-			DesignID: d.ID, Policy: cache.FastLRU, Mode: cache.Multicast,
-			Benchmark: *bench, Accesses: *n, Seed: 42,
-		})
+		r, err := core.NewRunner(
+			core.WithDesignID(d.ID),
+			core.WithScheme(cache.FastLRU, cache.Multicast),
+			core.WithBenchmark(*bench),
+			core.WithAccesses(*n),
+			core.WithSeed(42),
+		).Run()
 		if err != nil {
 			log.Fatal(err)
 		}

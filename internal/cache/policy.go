@@ -61,6 +61,34 @@ func (m Mode) String() string {
 	return "multicast"
 }
 
+// Valid reports whether p is one of the defined policies.
+func (p Policy) Valid() bool { return p <= FastLRU }
+
+// Valid reports whether m is one of the defined modes.
+func (m Mode) Valid() bool { return m <= Multicast }
+
+// Set parses a policy name, making *Policy a flag.Value:
+//
+//	fs.Var(&opt.Policy, "policy", "replacement policy")
+func (p *Policy) Set(s string) error {
+	v, err := ParsePolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// Set parses a mode name, making *Mode a flag.Value.
+func (m *Mode) Set(s string) error {
+	v, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
 // ParsePolicy reads a policy name ("promotion", "lru", "fastlru").
 func ParsePolicy(s string) (Policy, error) {
 	switch s {

@@ -1,10 +1,6 @@
 package cache
 
-import (
-	"container/heap"
-
-	"nucanet/internal/sim"
-)
+import "nucanet/internal/sim"
 
 // scheduler runs closures at future cycles; each protocol agent owns one
 // so bank-access completions and packet sends happen at their modeled
@@ -22,23 +18,57 @@ type timedFn struct {
 	f   func(now int64)
 }
 
-type timedHeap []timedFn
-
-func (h timedHeap) Len() int { return len(h) }
-func (h timedHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// timedHeap is a hand-rolled binary min-heap ordered by (at, seq).
+// container/heap would box every timedFn through `any` on Push/Pop — a
+// heap allocation per scheduled closure — so the sift loops are inlined
+// here, mirroring the kernel's event heap.
+type timedHeap struct {
+	s []timedFn
 }
-func (h timedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timedHeap) Push(x any)   { *h = append(*h, x.(timedFn)) }
-func (h *timedHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *timedHeap) less(i, j int) bool {
+	if h.s[i].at != h.s[j].at {
+		return h.s[i].at < h.s[j].at
+	}
+	return h.s[i].seq < h.s[j].seq
+}
+
+func (h *timedHeap) push(e timedFn) {
+	h.s = append(h.s, e)
+	i := len(h.s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.s[i], h.s[parent] = h.s[parent], h.s[i]
+		i = parent
+	}
+}
+
+func (h *timedHeap) pop() timedFn {
+	top := h.s[0]
+	n := len(h.s) - 1
+	h.s[0] = h.s[n]
+	h.s[n] = timedFn{} // drop the closure reference for the GC
+	h.s = h.s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.s[i], h.s[smallest] = h.s[smallest], h.s[i]
+		i = smallest
+	}
+	return top
 }
 
 func (s *scheduler) register(k *sim.Kernel) {
@@ -49,14 +79,14 @@ func (s *scheduler) register(k *sim.Kernel) {
 // at schedules f to run at cycle t (or next cycle if t has passed).
 func (s *scheduler) at(t int64, f func(now int64)) {
 	s.seq++
-	heap.Push(&s.q, timedFn{at: t, seq: s.seq, f: f})
+	s.q.push(timedFn{at: t, seq: s.seq, f: f})
 	s.k.WakeAt(t, s.kid)
 }
 
 // Tick runs all due closures in schedule order.
 func (s *scheduler) Tick(now int64) bool {
-	for len(s.q) > 0 && s.q[0].at <= now {
-		tf := heap.Pop(&s.q).(timedFn)
+	for len(s.q.s) > 0 && s.q.s[0].at <= now {
+		tf := s.q.pop()
 		tf.f(now)
 	}
 	return false // WakeAt re-arms per entry

@@ -1,0 +1,54 @@
+package cliutil
+
+import (
+	"flag"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/telemetry"
+)
+
+// Design registers the standard -design flag (a Table 3 id) and returns
+// its destination.
+func Design(fs *flag.FlagSet) *string {
+	return fs.String("design", "A", "network design (A-F, Table 3)")
+}
+
+// Scheme registers the typed -policy and -mode flags. cache.Policy and
+// cache.Mode implement flag.Value, so parse errors surface through the
+// flag package with the registered names — no per-binary ParsePolicy /
+// ParseMode plumbing.
+func Scheme(fs *flag.FlagSet) (*cache.Policy, *cache.Mode) {
+	p, m := cache.FastLRU, cache.Multicast
+	fs.Var(&p, "policy", "replacement policy: promotion, lru, fastlru")
+	fs.Var(&m, "mode", "request mode: unicast, multicast")
+	return &p, &m
+}
+
+// TelemetryFlags holds the destinations of the standard telemetry flag
+// trio (-trace, -heatmap, -sample); read them after fs.Parse.
+type TelemetryFlags struct {
+	TracePath *string // output file for the flit-level JSONL trace, '-' = stdout
+	Heatmap   *bool
+	Sample    *int
+}
+
+// Telemetry registers the telemetry flag trio on fs. Both CLIs accept
+// exactly these flags with these semantics; build the run configuration
+// with Config.
+func Telemetry(fs *flag.FlagSet) *TelemetryFlags {
+	return &TelemetryFlags{
+		TracePath: fs.String("trace", "", "write the flit-level JSONL event trace to this file ('-' = stdout)"),
+		Heatmap:   fs.Bool("heatmap", false, "print ASCII link/bank heatmaps per run"),
+		Sample:    fs.Int("sample", 0, "sample queue occupancy every N cycles and print the time series"),
+	}
+}
+
+// Config converts the parsed flags into the run configuration: tracing is
+// enabled exactly when a trace path was given.
+func (t *TelemetryFlags) Config() telemetry.Config {
+	return telemetry.Config{
+		Trace:       *t.TracePath != "",
+		Heatmap:     *t.Heatmap,
+		SampleEvery: *t.Sample,
+	}
+}

@@ -1,0 +1,87 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/telemetry"
+)
+
+func quietFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestSchemeDefaults(t *testing.T) {
+	fs := quietFlagSet()
+	p, m := Scheme(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *p != cache.FastLRU || *m != cache.Multicast {
+		t.Fatalf("defaults: %v/%v, want fastLRU/multicast", *p, *m)
+	}
+}
+
+func TestSchemeParsesNames(t *testing.T) {
+	fs := quietFlagSet()
+	p, m := Scheme(fs)
+	if err := fs.Parse([]string{"-policy", "promotion", "-mode", "unicast"}); err != nil {
+		t.Fatal(err)
+	}
+	if *p != cache.Promotion || *m != cache.Unicast {
+		t.Fatalf("parsed %v/%v, want promotion/unicast", *p, *m)
+	}
+}
+
+func TestSchemeRejectsUnknown(t *testing.T) {
+	fs := quietFlagSet()
+	Scheme(fs)
+	if err := fs.Parse([]string{"-policy", "bogus"}); err == nil {
+		t.Fatal("accepted unknown policy")
+	}
+	fs = quietFlagSet()
+	Scheme(fs)
+	if err := fs.Parse([]string{"-mode", "broadcast"}); err == nil {
+		t.Fatal("accepted unknown mode")
+	}
+}
+
+func TestTelemetryConfig(t *testing.T) {
+	fs := quietFlagSet()
+	tf := Telemetry(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tf.Config(); got != (telemetry.Config{}) || got.Enabled() {
+		t.Fatalf("default config not disabled: %+v", got)
+	}
+
+	fs = quietFlagSet()
+	tf = Telemetry(fs)
+	if err := fs.Parse([]string{"-trace", "-", "-heatmap", "-sample", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	got := tf.Config()
+	want := telemetry.Config{Trace: true, Heatmap: true, SampleEvery: 50}
+	if got != want {
+		t.Fatalf("config %+v, want %+v", got, want)
+	}
+	if *tf.TracePath != "-" {
+		t.Fatalf("trace path %q", *tf.TracePath)
+	}
+}
+
+func TestDesignDefault(t *testing.T) {
+	fs := quietFlagSet()
+	d := Design(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *d != "A" {
+		t.Fatalf("default design %q, want A", *d)
+	}
+}

@@ -175,6 +175,29 @@ func DesignByID(id string) (Design, error) {
 	return Design{}, fmt.Errorf("config: unknown design %q", id)
 }
 
+// Resolve unifies the two ways a caller names a design — a Table 3 id or
+// an ad-hoc override — into one validated configuration. The override
+// wins when non-nil (its contents are validated, catching malformed
+// ad-hoc designs like the power-gating sweep's truncated columns before
+// they reach the simulator); otherwise the id is looked up in Table 3.
+// The returned Design is a private copy: mutating it does not affect the
+// caller's override or the Table 3 catalogue.
+func Resolve(id string, override *Design) (*Design, error) {
+	var d Design
+	if override != nil {
+		d = *override
+	} else {
+		var err error
+		if d, err = DesignByID(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
 // Validate checks a design's internal consistency.
 func (d Design) Validate() error {
 	if len(d.Banks) == 0 {

@@ -1,0 +1,66 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveByID(t *testing.T) {
+	for _, want := range Designs() {
+		d, err := Resolve(want.ID, nil)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", want.ID, err)
+		}
+		if d.ID != want.ID || d.Description != want.Description {
+			t.Fatalf("Resolve(%q) returned design %q", want.ID, d.ID)
+		}
+	}
+}
+
+func TestResolveUnknownID(t *testing.T) {
+	if _, err := Resolve("Z", nil); err == nil || !strings.Contains(err.Error(), "unknown design") {
+		t.Fatalf("Resolve(Z): got %v, want unknown-design error", err)
+	}
+	if _, err := Resolve("", nil); err == nil {
+		t.Fatal("Resolve(\"\"): expected an error")
+	}
+}
+
+func TestResolveOverrideWins(t *testing.T) {
+	ad, err := DesignByID("F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad.ID = "F-custom"
+	// The id names a different (and valid) design; the override must win.
+	d, err := Resolve("A", &ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "F-custom" {
+		t.Fatalf("override lost: resolved %q", d.ID)
+	}
+	if d == &ad {
+		t.Fatal("Resolve returned the caller's pointer, not a copy")
+	}
+	d.ID = "mutated"
+	if ad.ID != "F-custom" {
+		t.Fatal("mutating the resolved design changed the caller's override")
+	}
+}
+
+func TestResolveValidatesOverride(t *testing.T) {
+	bad, err := DesignByID("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Banks = nil
+	if _, err := Resolve("", &bad); err == nil {
+		t.Fatal("Resolve accepted an override with no banks")
+	}
+	short, _ := DesignByID("A")
+	short.Banks = short.Banks[:3] // 3 bank specs for 16 rows
+	if _, err := Resolve("", &short); err == nil {
+		t.Fatal("Resolve accepted a bank/row mismatch")
+	}
+}

@@ -98,13 +98,11 @@ type Result struct {
 // never share mutable state (the property the parallel engine depends
 // on; see engine.go and the determinism regression test).
 func Run(opt Options) (Result, error) {
-	var d config.Design
-	var err error
-	if opt.Design != nil {
-		d = *opt.Design
-	} else if d, err = config.DesignByID(opt.DesignID); err != nil {
+	dp, err := config.Resolve(opt.DesignID, opt.Design)
+	if err != nil {
 		return Result{}, err
 	}
+	d := *dp
 	prof, err := trace.ProfileByName(opt.Benchmark)
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/config"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"unknown design", func(o *Options) { o.DesignID = "Z" }, "unknown design"},
+		{"unknown benchmark", func(o *Options) { o.Benchmark = "nope" }, "unknown"},
+		{"bad policy", func(o *Options) { o.Policy = Options{}.Policy + 99 }, "invalid policy"},
+		{"bad mode", func(o *Options) { o.Mode = Options{}.Mode + 99 }, "invalid mode"},
+		{"zero accesses", func(o *Options) { o.Accesses = 0 }, "positive"},
+		{"negative accesses", func(o *Options) { o.Accesses = -5 }, "positive"},
+	}
+	for _, tc := range cases {
+		o := DefaultOptions()
+		tc.mut(&o)
+		err := o.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRunnerMatchesRun pins the Runner as a pure front-end: the same
+// options through NewRunner and through Run produce identical results.
+func TestRunnerMatchesRun(t *testing.T) {
+	direct := DefaultOptions()
+	direct.DesignID = "F"
+	direct.Benchmark = "mcf"
+	direct.Accesses = 800
+	direct.Seed = 7
+	want, err := Run(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewRunner(
+		WithDesignID("F"),
+		WithScheme(cache.FastLRU, cache.Multicast),
+		WithBenchmark("mcf"),
+		WithAccesses(800),
+		WithSeed(7),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IPC != want.IPC || got.Cycles != want.Cycles || got.HitRate != want.HitRate {
+		t.Fatalf("runner diverged from Run: IPC %v/%v cycles %v/%v",
+			got.IPC, want.IPC, got.Cycles, want.Cycles)
+	}
+}
+
+func TestRunnerValidatesBeforeRunning(t *testing.T) {
+	if _, err := NewRunner(WithAccesses(0)).Run(); err == nil {
+		t.Fatal("Runner ran with zero accesses")
+	}
+	if _, err := NewRunner(WithDesignID("Z")).Run(); err == nil {
+		t.Fatal("Runner ran with an unknown design")
+	}
+}
+
+// TestRunnerOptionsCompose checks option ordering (later wins) and that
+// WithDesign overrides an earlier id.
+func TestRunnerOptionsCompose(t *testing.T) {
+	r := NewRunner(WithBenchmark("gcc"), WithBenchmark("art"))
+	if got := r.Options().Benchmark; got != "art" {
+		t.Fatalf("later option did not win: %q", got)
+	}
+	ad, err := config.DesignByID("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad.ID = "D-adhoc"
+	r = NewRunner(WithDesignID("A"), WithDesign(&ad))
+	if err := r.Options().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := config.Resolve(r.Options().DesignID, r.Options().Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "D-adhoc" {
+		t.Fatalf("WithDesign lost to WithDesignID: resolved %q", d.ID)
+	}
+	// And the reverse order: a later WithDesignID clears the override.
+	r = NewRunner(WithDesign(&ad), WithDesignID("A"))
+	d, err = config.Resolve(r.Options().DesignID, r.Options().Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "A" {
+		t.Fatalf("WithDesignID did not clear the override: resolved %q", d.ID)
+	}
+}

@@ -125,6 +125,10 @@ type Packet struct {
 	// accounting (injection cycle, final-flit delivery cycle).
 	Injected  int64
 	Delivered int64
+
+	// pooled marks a packet checked out of a PacketPool; only such
+	// packets re-enter a freelist on Put.
+	pooled bool
 }
 
 // Flits returns the flit count of the packet.

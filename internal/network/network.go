@@ -48,7 +48,8 @@ type Network struct {
 	Alg     routing.Algorithm
 	Routers []*router.Router
 
-	eps [][3]Endpoint // [node][flit.Endpoint]
+	eps  [][3]Endpoint    // [node][flit.Endpoint]
+	pool *flit.PacketPool // recycles multicast replica packets; one per run
 	// Traffic counters. Per-Network state, mutated only from Send and
 	// deliver, both of which run on the goroutine driving this network's
 	// kernel — parallel sweeps give every run its own Network, so these
@@ -63,11 +64,15 @@ type Network struct {
 // New builds and wires a network over topo using alg and router config cfg,
 // registering every router with k.
 func New(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg router.Config) *Network {
-	n := &Network{K: k, Topo: topo, Alg: alg}
+	// Precompute the routing table once so the per-flit hot path is a
+	// flat array lookup; idempotent if the caller already passed a table.
+	alg = routing.Precompute(topo, alg)
+	n := &Network{K: k, Topo: topo, Alg: alg, pool: &flit.PacketPool{}}
 	n.Routers = make([]*router.Router, topo.NumNodes())
 	n.eps = make([][3]Endpoint, topo.NumNodes())
 	for id := 0; id < topo.NumNodes(); id++ {
 		n.Routers[id] = router.New(id, topo, alg, cfg, k)
+		n.Routers[id].SetPool(n.pool)
 	}
 	for id := 0; id < topo.NumNodes(); id++ {
 		for p := 0; p < topo.NumPorts(id); p++ {
@@ -135,6 +140,11 @@ func (n *Network) InFlight() int {
 	}
 	return total
 }
+
+// PoolStats returns the replica packet pool's accounting. After the
+// network quiesces every replica has been returned: Live == 0 (the leak
+// invariant checked by tests).
+func (n *Network) PoolStats() flit.PoolStats { return n.pool.Stats() }
 
 // Stats sums per-router counters with the network totals. Delivered counts
 // include multicast replicas (one delivery per bank reached).

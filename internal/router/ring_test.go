@@ -1,0 +1,124 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"nucanet/internal/flit"
+)
+
+func seqEntry(i int) entry {
+	return entry{f: flit.Flit{Seq: i}, arrived: int64(i)}
+}
+
+func TestRingFillDrain(t *testing.T) {
+	var r ring
+	for n := 1; n <= 37; n++ {
+		for i := 0; i < n; i++ {
+			r.push(seqEntry(i))
+		}
+		if r.len() != n {
+			t.Fatalf("after %d pushes: len=%d", n, r.len())
+		}
+		for i := 0; i < n; i++ {
+			if got := r.front(); got.f.Seq != i {
+				t.Fatalf("n=%d front: got seq %d, want %d", n, got.f.Seq, i)
+			}
+			if got := r.pop(); got.f.Seq != i || got.arrived != int64(i) {
+				t.Fatalf("n=%d pop %d: got %+v", n, i, got)
+			}
+		}
+		if r.len() != 0 {
+			t.Fatalf("n=%d: not empty after drain: len=%d", n, r.len())
+		}
+	}
+}
+
+// TestRingWraparound drives the head pointer around the buffer many times
+// with a mixed push/pop workload and checks FIFO order against a model
+// slice the whole way.
+func TestRingWraparound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var r ring
+	var model []int
+	next := 0
+	for step := 0; step < 20000; step++ {
+		if r.len() != len(model) {
+			t.Fatalf("step %d: len=%d model=%d", step, r.len(), len(model))
+		}
+		if len(model) > 0 && rng.Intn(2) == 0 {
+			want := model[0]
+			model = model[1:]
+			if got := r.pop(); got.f.Seq != want {
+				t.Fatalf("step %d: pop got %d, want %d", step, got.f.Seq, want)
+			}
+		} else {
+			r.push(seqEntry(next))
+			model = append(model, next)
+			next++
+		}
+	}
+	for _, want := range model {
+		if got := r.pop(); got.f.Seq != want {
+			t.Fatalf("final drain: got %d, want %d", got.f.Seq, want)
+		}
+	}
+}
+
+// TestRingGrowPreservesOrder forces growth while the contents straddle
+// the wrap point, the case grow's linearization exists for.
+func TestRingGrowPreservesOrder(t *testing.T) {
+	var r ring
+	// Fill to 4 (first growth quantum), drain 3, refill past capacity so
+	// the live window wraps and then grows.
+	for i := 0; i < 4; i++ {
+		r.push(seqEntry(i))
+	}
+	for i := 0; i < 3; i++ {
+		r.pop()
+	}
+	for i := 4; i < 12; i++ {
+		r.push(seqEntry(i))
+	}
+	for i := 3; i < 12; i++ {
+		if got := r.pop(); got.f.Seq != i {
+			t.Fatalf("pop: got %d, want %d", got.f.Seq, i)
+		}
+	}
+}
+
+// TestRingPopClearsSlot checks that pop zeroes the vacated slot so the
+// ring does not pin packet pointers for the garbage collector.
+func TestRingPopClearsSlot(t *testing.T) {
+	var r ring
+	p := &flit.Packet{Kind: flit.ReadReq}
+	r.push(entry{f: flit.Flit{Pkt: p}})
+	head := r.head
+	r.pop()
+	if r.buf[head].f.Pkt != nil {
+		t.Fatal("pop left a packet pointer in the vacated slot")
+	}
+}
+
+// TestRingSlabCarvedCapacity checks that carved rings never alias: two
+// rings carved from one slab must not see each other's entries.
+func TestRingSlabCarvedCapacity(t *testing.T) {
+	slab := make([]entry, 8)
+	var a, b ring
+	a.buf, slab = slab[:4:4], slab[4:]
+	b.buf = slab[:4:4]
+	for i := 0; i < 4; i++ {
+		a.push(seqEntry(i))
+	}
+	for i := 10; i < 14; i++ {
+		b.push(seqEntry(i))
+	}
+	// Push past a's carved capacity: it must grow into fresh memory, not
+	// run over b's slab region.
+	a.push(seqEntry(100))
+	for i := 10; i < 14; i++ {
+		if got := b.pop(); got.f.Seq != i {
+			t.Fatalf("b corrupted by a's growth: got %d, want %d", got.f.Seq, i)
+		}
+	}
+}

@@ -12,10 +12,20 @@
 // same router — exploiting underutilized input buffers instead of adding
 // dedicated multicast storage. If no VC is free the forward blocks (the
 // paper observes this is rare; the router counts it).
+//
+// The router's steady-state cycle is allocation-free: VC queues are ring
+// buffers carved from one per-router slab, the switch-allocation scratch
+// is reused across cycles, request masks make arbitration scan only the
+// VCs actually requesting an output, credit returns go through the
+// kernel's typed DeferIncr, and multicast replica packets are recycled
+// through a per-run flit.PacketPool. All of it is decision-for-decision
+// identical to the straightforward implementation it replaced — the
+// byte-identical determinism regression in internal/core is the proof.
 package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nucanet/internal/flit"
 	"nucanet/internal/routing"
@@ -86,8 +96,9 @@ type entry struct {
 
 // vcState is one virtual channel of an input port.
 type vcState struct {
+	port  int // input port index
 	idx   int // VC index within the port
-	q     []entry
+	q     ring
 	route int // assigned output (port index, ejectOut) or unassigned
 	outVC int // downstream VC for neighbor routes
 	// Multicast replication state for the packet at the head.
@@ -95,15 +106,6 @@ type vcState struct {
 	replPort int // input port holding the stolen VC, unassigned if none yet
 	replVC   int
 	replPkt  *flit.Packet
-}
-
-func (v *vcState) resetRoute() {
-	v.route = unassigned
-	v.outVC = unassigned
-	v.replNeed = false
-	v.replPort = unassigned
-	v.replVC = unassigned
-	v.replPkt = nil
 }
 
 // outState tracks the downstream VC pool of one neighbor output port.
@@ -138,6 +140,13 @@ type Router struct {
 	injVC  int   // round-robin injection VC
 	replRR int
 
+	// Hot-path state, all reused across cycles.
+	occ     int        // flits buffered anywhere in the router
+	portOcc []int      // flits buffered per input port
+	usedIn  []bool     // per-cycle switch-allocation scratch
+	reqMask [][]uint64 // [neighbor out][bit pi*VCs+vi]: VCs routed to that output
+	pool    *flit.PacketPool
+
 	stats Stats
 	tel   *telemetry.Collector // nil when probes are disabled
 }
@@ -156,13 +165,25 @@ func New(id topology.NodeID, topo *topology.Topology, alg routing.Algorithm, cfg
 		upstream:   make([]*Router, np+1),
 		upstreamOP: make([]int, np+1),
 		rrOut:      make([]int, np+1),
+		portOcc:    make([]int, np+1),
+		usedIn:     make([]bool, np+1),
+	}
+	// All VC rings share one backing slab: one allocation per router,
+	// and neighbor-fed VCs (bounded at BufDepth by credit flow control)
+	// never grow past their carved slice.
+	slab := make([]entry, (np+1)*cfg.VCsPerPC*cfg.BufDepth)
+	words := ((np+1)*cfg.VCsPerPC + 63) / 64
+	r.reqMask = make([][]uint64, np)
+	for o := range r.reqMask {
+		r.reqMask[o] = make([]uint64, words)
 	}
 	r.in = make([][]*vcState, np+1)
 	for p := range r.in {
 		vcs := make([]*vcState, cfg.VCsPerPC)
 		for v := range vcs {
-			vcs[v] = &vcState{idx: v}
-			vcs[v].resetRoute()
+			vcs[v] = &vcState{port: p, idx: v, route: unassigned}
+			vcs[v].q.buf, slab = slab[:cfg.BufDepth:cfg.BufDepth], slab[cfg.BufDepth:]
+			r.resetRoute(vcs[v])
 		}
 		r.in[p] = vcs
 	}
@@ -199,20 +220,51 @@ func (r *Router) SetKernelID(id int) { r.kid = id }
 // SetTelemetry installs the probe collector (nil disables all probes).
 func (r *Router) SetTelemetry(c *telemetry.Collector) { r.tel = c }
 
+// SetPool installs the packet freelist for multicast replicas. The
+// network installs one shared pool per run; a nil pool (the default for
+// unwired routers) falls back to plain allocation.
+func (r *Router) SetPool(p *flit.PacketPool) { r.pool = p }
+
 // KernelID returns the registered component id.
 func (r *Router) KernelID() int { return r.kid }
 
 // Stats returns a copy of the router's counters.
 func (r *Router) Stats() Stats { return r.stats }
 
+// resetRoute clears a VC's routing state, removing it from its output's
+// request mask.
+func (r *Router) resetRoute(v *vcState) {
+	if v.route >= 0 && v.route != ejectOut {
+		idx := v.port*r.cfg.VCsPerPC + v.idx
+		r.reqMask[v.route][idx>>6] &^= 1 << uint(idx&63)
+	}
+	v.route = unassigned
+	v.outVC = unassigned
+	v.replNeed = false
+	v.replPort = unassigned
+	v.replVC = unassigned
+	v.replPkt = nil
+}
+
+// pushFlit buffers e into VC (pi, vi), maintaining occupancy counters.
+func (r *Router) pushFlit(pi, vi int, e entry) {
+	r.in[pi][vi].q.push(e)
+	r.occ++
+	r.portOcc[pi]++
+}
+
 // Inject queues a packet's flits at the injection port (called by the
 // network on Send). Injection queues are unbounded: the NI is the source.
 func (r *Router) Inject(p *flit.Packet, now int64) {
-	vcs := r.in[r.numPorts]
-	v := vcs[r.injVC]
-	r.injVC = (r.injVC + 1) % len(vcs)
-	for _, f := range flit.Flitize(p) {
-		v.q = append(v.q, entry{f: f, arrived: now})
+	v := r.injVC
+	r.injVC++
+	if r.injVC == r.cfg.VCsPerPC {
+		r.injVC = 0
+	}
+	n := p.Flits()
+	for i := 0; i < n; i++ {
+		f := flit.Flit{Pkt: p, Seq: i, Head: i == 0, Tail: i == n-1}
+		r.pushFlit(r.numPorts, v, entry{f: f, arrived: now})
 		r.tel.FlitInjected(now, f, int(r.ID))
 	}
 	r.k.Activate(r.kid)
@@ -220,15 +272,7 @@ func (r *Router) Inject(p *flit.Packet, now int64) {
 
 // Occupancy returns the number of flits buffered in the router (all input
 // VCs including injection).
-func (r *Router) Occupancy() int {
-	n := 0
-	for _, port := range r.in {
-		for _, v := range port {
-			n += len(v.q)
-		}
-	}
-	return n
-}
+func (r *Router) Occupancy() int { return r.occ }
 
 const ejectOut = 1 << 20 // sentinel route value for local ejection
 
@@ -239,11 +283,14 @@ func (r *Router) Tick(now int64) bool {
 	// Phase A: routing, VC allocation, multicast replica allocation for
 	// the flit at the front of each VC.
 	for pi, port := range r.in {
+		if r.portOcc[pi] == 0 {
+			continue
+		}
 		for _, v := range port {
-			if len(v.q) == 0 {
+			if v.q.len() == 0 {
 				continue
 			}
-			e := v.q[0]
+			e := v.q.front()
 			if e.arrived+int64(r.cfg.Stages) > now {
 				continue
 			}
@@ -263,13 +310,19 @@ func (r *Router) Tick(now int64) bool {
 	// local endpoint interface (the NI is as wide as the input side, and
 	// the halo hub's controller exposes one interface per spike), so any
 	// number of ports may eject concurrently — one flit per PC.
-	usedIn := make([]bool, len(r.in))
+	usedIn := r.usedIn
+	for i := range usedIn {
+		usedIn[i] = false
+	}
 	for pi, port := range r.in {
+		if r.portOcc[pi] == 0 {
+			continue
+		}
 		for _, v := range port {
-			if len(v.q) == 0 || v.route != ejectOut {
+			if v.q.len() == 0 || v.route != ejectOut {
 				continue
 			}
-			if v.q[0].arrived+int64(r.cfg.Stages) > now {
+			if v.q.front().arrived+int64(r.cfg.Stages) > now {
 				continue
 			}
 			usedIn[pi] = true
@@ -283,7 +336,7 @@ func (r *Router) Tick(now int64) bool {
 		if r.neighbor[o] == nil {
 			continue
 		}
-		v, pi := r.pickWinner(o, usedIn, now)
+		v, pi := r.pickWinner(o, now)
 		if v == nil {
 			continue
 		}
@@ -292,14 +345,7 @@ func (r *Router) Tick(now int64) bool {
 	}
 
 	// Stay active while any flit is buffered.
-	for _, port := range r.in {
-		for _, v := range port {
-			if len(v.q) > 0 {
-				return true
-			}
-		}
-	}
-	return false
+	return r.occ > 0
 }
 
 // assignRoute computes the output for a head flit (lookahead routing is
@@ -313,15 +359,17 @@ func (r *Router) assignRoute(v *vcState, pkt *flit.Packet) {
 			panic(fmt.Sprintf("router %d: no route for %v (port %d)", r.ID, pkt, p))
 		}
 		v.route = p
+		idx := v.port*r.cfg.VCsPerPC + v.idx
+		r.reqMask[p][idx>>6] |= 1 << uint(idx&63)
 		// Path multicast: deliver a replica to the local bank when this
 		// router lies on the destination column/spike.
 		if pkt.PathDeliver && r.topo.SameColumn(r.ID, pkt.Dst) {
 			v.replNeed = true
-			v.replPkt = &flit.Packet{
-				ID: pkt.ID, Kind: pkt.Kind, Src: pkt.Src, Dst: r.ID,
-				DstEp: flit.ToBank, Addr: pkt.Addr, Payload: pkt.Payload,
-				Injected: pkt.Injected,
-			}
+			rp := r.pool.Get()
+			rp.ID, rp.Kind, rp.Src, rp.Dst = pkt.ID, pkt.Kind, pkt.Src, r.ID
+			rp.DstEp, rp.Addr = flit.ToBank, pkt.Addr
+			rp.Payload, rp.Injected = pkt.Payload, pkt.Injected
+			v.replPkt = rp
 		}
 	}
 }
@@ -354,7 +402,7 @@ func (r *Router) allocReplica(v *vcState, inPort int) {
 		}
 		uo := r.upstream[p].out[r.upstreamOP[p]]
 		for _, cand := range r.in[p] {
-			if len(cand.q) != 0 || cand.route != unassigned {
+			if cand.q.len() != 0 || cand.route != unassigned {
 				continue
 			}
 			if uo.owner[cand.idx] != nil || uo.credits[cand.idx] != r.cfg.BufDepth {
@@ -370,47 +418,71 @@ func (r *Router) allocReplica(v *vcState, inPort int) {
 	r.stats.ReplicaBlocked++
 }
 
-// pickWinner round-robin arbitrates input VCs requesting neighbor output o.
-func (r *Router) pickWinner(o int, usedIn []bool, now int64) (*vcState, int) {
-	nIn := len(r.in)
+// pickWinner round-robin arbitrates input VCs requesting neighbor output
+// o. The request mask holds exactly the VCs with an assigned route to o,
+// so arbitration touches only actual requesters (usually zero or one)
+// instead of scanning every VC of every port; iteration order over the
+// mask is the same circular (port, VC) order as the full scan, so grants
+// — and therefore simulation results — are unchanged.
+func (r *Router) pickWinner(o int, now int64) (*vcState, int) {
+	words := r.reqMask[o]
 	nVC := r.cfg.VCsPerPC
-	total := nIn * nVC
+	total := len(r.in) * nVC
 	start := r.rrOut[o]
-	for k := 0; k < total; k++ {
-		idx := (start + k) % total
-		pi := idx / nVC
-		vi := idx % nVC
-		if usedIn[pi] {
-			continue
+	sw, sb := start>>6, uint(start&63)
+	nw := len(words)
+	for step := 0; step <= nw; step++ {
+		wi := sw + step
+		if wi >= nw {
+			wi -= nw
 		}
-		v := r.in[pi][vi]
-		if len(v.q) == 0 {
-			continue
-		}
-		e := v.q[0]
-		if e.arrived+int64(r.cfg.Stages) > now {
-			continue
-		}
-		if v.route != o {
-			continue
-		}
-		if v.outVC == unassigned {
-			continue
-		}
-		if r.out[o].credits[v.outVC] <= 0 {
-			r.stats.CreditStalls++
-			continue
-		}
-		if v.replNeed {
-			if v.replPort == unassigned {
-				continue // replication blocked: hold the flit
+		w := words[wi]
+		if step == 0 {
+			w &= ^uint64(0) << sb // bits at or after the RR pointer
+		} else if step == nw {
+			if sb == 0 {
+				break
 			}
-			if len(r.in[v.replPort][v.replVC].q) >= r.cfg.BufDepth {
-				continue // stolen VC momentarily full
-			}
+			w &= 1<<sb - 1 // wrapped: bits before the RR pointer
 		}
-		r.rrOut[o] = (idx + 1) % total
-		return v, pi
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			idx := wi<<6 | b
+			pi := idx / nVC
+			if r.usedIn[pi] {
+				continue
+			}
+			v := r.in[pi][idx%nVC]
+			if v.q.len() == 0 {
+				continue
+			}
+			e := v.q.front()
+			if e.arrived+int64(r.cfg.Stages) > now {
+				continue
+			}
+			if v.outVC == unassigned {
+				continue
+			}
+			if r.out[o].credits[v.outVC] <= 0 {
+				r.stats.CreditStalls++
+				continue
+			}
+			if v.replNeed {
+				if v.replPort == unassigned {
+					continue // replication blocked: hold the flit
+				}
+				if r.in[v.replPort][v.replVC].q.len() >= r.cfg.BufDepth {
+					continue // stolen VC momentarily full
+				}
+			}
+			next := idx + 1
+			if next == total {
+				next = 0
+			}
+			r.rrOut[o] = next
+			return v, pi
+		}
 	}
 	return nil, 0
 }
@@ -419,15 +491,15 @@ func (r *Router) pickWinner(o int, usedIn []bool, now int64) (*vcState, int) {
 // input buffer or to local ejection, spawning the multicast replica and
 // returning the drained slot's credit upstream.
 func (r *Router) traverse(v *vcState, pi, o int, isEject bool, now int64) {
-	e := v.q[0]
-	v.q = v.q[1:]
+	e := v.q.pop()
+	r.occ--
+	r.portOcc[pi]--
 	r.stats.FlitsRouted++
 
 	// Credit return for the drained slot (visible next cycle).
 	if up := r.upstream[pi]; up != nil {
 		uo := up.out[r.upstreamOP[pi]]
-		vcIdx := v.idx
-		r.k.Defer(func() { uo.credits[vcIdx]++ })
+		r.k.DeferIncr(&uo.credits[v.idx])
 		r.k.Activate(up.kid)
 	}
 
@@ -437,8 +509,7 @@ func (r *Router) traverse(v *vcState, pi, o int, isEject bool, now int64) {
 	if v.replNeed && v.replPort != unassigned {
 		rf := e.f
 		rf.Pkt = v.replPkt
-		r.in[v.replPort][v.replVC].q = append(r.in[v.replPort][v.replVC].q,
-			entry{f: rf, arrived: now})
+		r.pushFlit(v.replPort, v.replVC, entry{f: rf, arrived: now})
 		up := r.upstream[v.replPort]
 		up.out[r.upstreamOP[v.replPort]].credits[v.replVC]--
 		r.stats.ReplicasSpawned++
@@ -476,7 +547,11 @@ func (r *Router) traverse(v *vcState, pi, o int, isEject bool, now int64) {
 					uo.owner[v.idx] = nil
 				}
 			}
-			v.resetRoute()
+			r.resetRoute(v)
+			// Replica packets were minted from the pool in assignRoute
+			// and are fully consumed at tail ejection; recycle them.
+			// Put ignores packets that did not come from the pool.
+			r.pool.Put(pkt)
 		}
 		return
 	}
@@ -485,12 +560,11 @@ func (r *Router) traverse(v *vcState, pi, o int, isEject bool, now int64) {
 	out := r.out[o]
 	r.tel.FlitRouted(now, e.f, int(r.ID), o, v.outVC)
 	out.credits[v.outVC]--
-	dst := n.in[r.neighborIn[o]][v.outVC]
 	arr := now + int64(r.linkDelay[o]-1)
-	dst.q = append(dst.q, entry{f: e.f, arrived: arr})
+	n.pushFlit(r.neighborIn[o], v.outVC, entry{f: e.f, arrived: arr})
 	r.k.Activate(n.kid)
 	if e.f.Tail {
 		out.owner[v.outVC] = nil
-		v.resetRoute()
+		r.resetRoute(v)
 	}
 }

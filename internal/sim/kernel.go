@@ -12,12 +12,15 @@
 // Concurrency: a Kernel is single-threaded — one goroutine drives Step/Run
 // and every component it ticks. Kernels hold no package-level state, so
 // independent Kernels on different goroutines (see ParMap) share nothing.
+//
+// The kernel's inner loop is allocation-free in steady state: the event
+// heap is a typed slice (no interface boxing), the scheduled-id lists are
+// double-buffered across cycles, and deferred credit returns go through
+// DeferIncr, which records a pointer instead of capturing a closure. The
+// root-level allocation guards pin this.
 package sim
 
-import (
-	"container/heap"
-	"sort"
-)
+import "sort"
 
 // Component is anything the kernel can tick once per active cycle.
 // Tick returns true if the component wants to be ticked on the next cycle
@@ -34,18 +37,58 @@ type event struct {
 	id  int
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). It is maintained
+// with inline sift operations rather than container/heap so pushes and
+// pops move typed values, never boxing through `any`.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.less(l, small) {
+			small = l
+		}
+		if r < n && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
 func (h eventHeap) peek() (int64, bool) { // earliest event time
 	if len(h) == 0 {
 		return 0, false
@@ -60,8 +103,10 @@ type Kernel struct {
 	comps   []Component
 	pending []bool // comps scheduled for the next cycle
 	next    []int  // ids scheduled for the next cycle (unsorted)
+	spare   []int  // retired cycle list, reused as the following next
 	events  eventHeap
 	defers  []func()
+	incrs   []*int // deferred counter increments (see DeferIncr)
 	seq     int
 	ticks   uint64
 }
@@ -104,14 +149,22 @@ func (k *Kernel) WakeAt(t int64, id int) {
 		return
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, id: id})
+	k.events.push(event{at: t, seq: k.seq, id: id})
 }
 
 // Defer runs f after all components have ticked in the current cycle.
-// Used to commit state (e.g. returned credits) that must only become
-// visible on the following cycle.
+// Used to commit state that must only become visible on the following
+// cycle. Each call captures a closure; hot paths deferring a bare counter
+// bump should use DeferIncr instead.
 func (k *Kernel) Defer(f func()) {
 	k.defers = append(k.defers, f)
+}
+
+// DeferIncr increments *ctr after all components have ticked in the
+// current cycle — the allocation-free form of Defer for credit returns
+// and similar end-of-cycle counter commits.
+func (k *Kernel) DeferIncr(ctr *int) {
+	k.incrs = append(k.incrs, ctr)
 }
 
 // Idle reports whether no component is scheduled and no event is pending.
@@ -137,13 +190,13 @@ func (k *Kernel) Step() bool {
 	k.now = target
 
 	cur := k.next
-	k.next = nil
+	k.next = k.spare[:0]
 	for _, id := range cur {
 		k.pending[id] = false
 	}
 	// Pull in events due now.
 	for len(k.events) > 0 && k.events[0].at <= k.now {
-		ev := heap.Pop(&k.events).(event)
+		ev := k.events.pop()
 		if !k.pending[ev.id] {
 			cur = append(cur, ev.id)
 		}
@@ -159,6 +212,13 @@ func (k *Kernel) Step() bool {
 		if k.comps[id].Tick(k.now) {
 			k.Activate(id)
 		}
+	}
+	k.spare = cur[:0]
+	if len(k.incrs) > 0 {
+		for _, ctr := range k.incrs {
+			(*ctr)++
+		}
+		k.incrs = k.incrs[:0]
 	}
 	if len(k.defers) > 0 {
 		for _, f := range k.defers {
