@@ -7,7 +7,7 @@ GO ?= go
 BENCH_COUNT ?= 3
 BENCH_LABEL ?= after
 
-.PHONY: build test check fmt vet race bench benchsmoke smoke clean
+.PHONY: build test check fmt vet race racegraph bench benchsmoke smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ vet:
 # the multi-minute full figure sweeps.
 race:
 	$(GO) test -race -short ./...
+
+# Full (non-short) race pass over the graph/routing layer: topology
+# builders and the deadlock verifier are shared read-only across the
+# parallel engine's workers, so data races here would corrupt every
+# sweep. These packages are quick even un-shortened.
+racegraph:
+	$(GO) test -race ./internal/topology/ ./internal/routing/
 
 # Compile and run every benchmark once (no measurement) so bench files
 # can never rot silently.
@@ -55,7 +62,11 @@ smoke:
 	@rm -f /tmp/nucasim-smoke.jsonl
 	@echo "telemetry smoke: ok"
 
-check: fmt vet race benchsmoke smoke
+# Static deadlock-freedom verification of the whole design catalogue.
+verify:
+	$(GO) run ./cmd/nucasim -verify-routing
+
+check: fmt vet race racegraph benchsmoke smoke verify
 
 clean:
 	$(GO) clean ./...

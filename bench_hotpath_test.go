@@ -42,7 +42,7 @@ const coreRunAccesses = 10000
 func steadyMesh() (*sim.Kernel, *network.Network, func()) {
 	topo := topology.NewMesh(topology.MeshSpec{W: 16, H: 16, CoreX: 7, MemX: 8})
 	k := sim.NewKernel()
-	net := network.New(k, topo, routing.XY{}, router.DefaultConfig())
+	net := network.MustNew(k, topo, routing.XY{}, router.DefaultConfig())
 	sink := nullEndpoint{}
 	for id := 0; id < topo.NumNodes(); id++ {
 		net.Attach(id, flit.ToBank, sink)

@@ -94,7 +94,7 @@ func BenchmarkFig9(b *testing.B) {
 func BenchmarkTable4Area(b *testing.B) {
 	var reps []area.Report
 	for i := 0; i < b.N; i++ {
-		reps = area.Table4(area.DefaultModel())
+		reps, _ = area.Table4(area.DefaultModel())
 	}
 	for _, r := range reps {
 		b.ReportMetric(r.L2MM2(), r.DesignID+"-L2-mm2")
@@ -120,7 +120,7 @@ func BenchmarkTable2Generator(b *testing.B) {
 func BenchmarkRouterHop(b *testing.B) {
 	topo := topology.NewMesh(topology.MeshSpec{W: 16, H: 16, CoreX: 7, MemX: 8})
 	k := sim.NewKernel()
-	net := network.New(k, topo, routing.XY{}, router.DefaultConfig())
+	net := network.MustNew(k, topo, routing.XY{}, router.DefaultConfig())
 	sink := nullEndpoint{}
 	for id := 0; id < topo.NumNodes(); id++ {
 		net.Attach(id, flit.ToBank, sink)
@@ -140,7 +140,7 @@ func BenchmarkRouterHop(b *testing.B) {
 func BenchmarkMulticastColumn(b *testing.B) {
 	topo := topology.NewMesh(topology.MeshSpec{W: 16, H: 16, CoreX: 7, MemX: 8})
 	k := sim.NewKernel()
-	net := network.New(k, topo, routing.XY{}, router.DefaultConfig())
+	net := network.MustNew(k, topo, routing.XY{}, router.DefaultConfig())
 	sink := nullEndpoint{}
 	for id := 0; id < topo.NumNodes(); id++ {
 		net.Attach(id, flit.ToBank, sink)
@@ -162,7 +162,7 @@ func BenchmarkCacheHitOp(b *testing.B) {
 		b.Fatal(err)
 	}
 	k := sim.NewKernel()
-	sys := cache.New(k, d, cache.FastLRU, cache.Multicast)
+	sys := cache.MustNew(k, d, cache.FastLRU, cache.Multicast)
 	p, _ := trace.ProfileByName("art")
 	gen := trace.NewSynthetic(p, sys.AM, 1)
 	sys.Warm(gen.WarmBlocks(d.Ways()))
@@ -219,7 +219,7 @@ func BenchmarkAblationRouterStages(b *testing.B) {
 			var avg float64
 			for i := 0; i < b.N; i++ {
 				k := sim.NewKernel()
-				sys := cache.New(k, d, cache.FastLRU, cache.Multicast)
+				sys := cache.MustNew(k, d, cache.FastLRU, cache.Multicast)
 				p, _ := trace.ProfileByName("gcc")
 				gen := trace.NewSynthetic(p, sys.AM, 3)
 				sys.Warm(gen.WarmBlocks(d.Ways()))

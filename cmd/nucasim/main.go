@@ -10,11 +10,17 @@
 // output is deterministic: a fixed seed produces byte-identical traces
 // and heatmaps at any -j.
 //
+// -verify-routing skips simulation entirely and runs the static
+// deadlock-freedom verifier (routing.VerifyDeadlockFree) over every
+// catalogue design's topology/algorithm pair, printing one line per
+// design; it exits non-zero if any pair is rejected.
+//
 // Usage:
 //
 //	nucasim -design A -policy fastlru -mode multicast -bench gcc -n 8000
 //	nucasim -design F -bench all -j 8
 //	nucasim -design A -heatmap -sample 100 -trace /tmp/flits.jsonl
+//	nucasim -verify-routing
 package main
 
 import (
@@ -24,8 +30,10 @@ import (
 	"os"
 
 	"nucanet/internal/cliutil"
+	"nucanet/internal/config"
 	"nucanet/internal/core"
 	"nucanet/internal/cpu"
+	"nucanet/internal/routing"
 	"nucanet/internal/trace"
 )
 
@@ -39,9 +47,15 @@ func main() {
 		blocking = flag.Float64("blocking", 0.35, "fraction of reads that stall the core")
 		jobs     = cliutil.Jobs(flag.CommandLine)
 		tflags   = cliutil.Telemetry(flag.CommandLine)
+		verify   = flag.Bool("verify-routing", false,
+			"statically verify deadlock freedom of every catalogue design's routing, then exit")
 	)
 	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
+
+	if *verify {
+		os.Exit(verifyRouting(os.Stdout))
+	}
 
 	p, m := *policy, *mode
 	workers, err := cliutil.ResolveJobs(*jobs)
@@ -138,6 +152,35 @@ func writeTraces(path, design string, benches []string, results []core.Result) e
 		}
 	}
 	return nil
+}
+
+// verifyRouting runs the channel-dependence verifier over every design
+// in the catalogue (Table 3's A-F plus the extra registered families)
+// and reports one line per design. Returns a process exit code.
+func verifyRouting(w io.Writer) int {
+	code := 0
+	for _, d := range append(config.Designs(), config.ExtraDesigns()...) {
+		topo, err := d.Build()
+		if err != nil {
+			fmt.Fprintf(w, "design %s  BUILD FAILED  %v\n", d.ID, err)
+			code = 1
+			continue
+		}
+		alg, err := routing.For(topo)
+		if err != nil {
+			fmt.Fprintf(w, "design %s  NO ALGORITHM  %v\n", d.ID, err)
+			code = 1
+			continue
+		}
+		if err := routing.VerifyDeadlockFree(topo, alg); err != nil {
+			fmt.Fprintf(w, "design %s  REJECTED  %v\n", d.ID, err)
+			code = 1
+			continue
+		}
+		fmt.Fprintf(w, "design %s  deadlock-free  (%s over %s, %d routers, %d links)\n",
+			d.ID, alg.Name(), topo.Name, topo.NumNodes(), topo.CountLinks())
+	}
+	return code
 }
 
 func fatal(err error) {

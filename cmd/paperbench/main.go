@@ -120,7 +120,9 @@ func table3() {
 func table4() {
 	header("Table 4: area analysis (cacti-lite model)")
 	fmt.Println("design   bank%   router%   link%     L2 mm2    chip mm2")
-	for _, r := range core.Table4() {
+	reps, err := core.Table4()
+	fatal(err)
+	for _, r := range reps {
 		fmt.Printf("  %s     %5.1f     %5.1f   %5.1f   %8.2f   %9.2f\n",
 			r.DesignID, r.BankPct(), r.RouterPct(), r.LinkPct(), r.L2MM2(), r.ChipMM2)
 	}

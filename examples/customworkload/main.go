@@ -21,7 +21,10 @@ func main() {
 		log.Fatal(err)
 	}
 	k := sim.NewKernel()
-	sys := cache.New(k, design, cache.FastLRU, cache.Multicast)
+	sys, err := cache.New(k, design, cache.FastLRU, cache.Multicast)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A hand-rolled workload: a hot stride over two columns plus a cold
 	// scan that always misses, written with the address map directly.

@@ -39,7 +39,10 @@ func main() {
 		if d.ID == "A" {
 			baseIPC = r.IPC
 		}
-		rep := model.Analyze(d)
+		rep, err := model.Analyze(d)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-3s %-46s %7.3f %7.3f %9.1f %10.1f\n",
 			d.ID, d.Description, r.IPC, r.IPC/baseIPC, rep.L2MM2(), rep.NetworkMM2())
 	}

@@ -18,7 +18,6 @@ import (
 	"math"
 
 	"nucanet/internal/config"
-	"nucanet/internal/topology"
 )
 
 // Model holds the calibrated constants.
@@ -90,12 +89,16 @@ func (r Report) String() string {
 		r.DesignID, r.BankPct(), r.RouterPct(), r.LinkPct(), r.L2MM2(), r.ChipMM2)
 }
 
-// Analyze computes the Table 4 row for a design.
-func (m Model) Analyze(d config.Design) Report {
-	topo := d.Build()
+// Analyze computes the Table 4 row for a design. It errors when the
+// design's topology cannot be built.
+func (m Model) Analyze(d config.Design) (Report, error) {
+	topo, err := d.Build()
+	if err != nil {
+		return Report{}, err
+	}
 	rep := Report{DesignID: d.ID}
 
-	// Banks and routers: fixed parts of each tile.
+	// Routers: the fixed part of each tile.
 	n := topo.NumNodes()
 	tileFixed := make([]float64, n)
 	for id := 0; id < n; id++ {
@@ -108,11 +111,14 @@ func (m Model) Analyze(d config.Design) Report {
 		ra := m.RouterArea(ports)
 		rep.RouterMM2 += ra
 		tileFixed[id] = ra
-		if b := topo.Nodes[id].Bank; b >= 0 {
-			_, pos, _ := topo.ColumnOf(id)
+	}
+	// Banks: walk the columns so a concentrated node accumulates one
+	// bank area per column position it hosts.
+	for c := 0; c < topo.Columns(); c++ {
+		for pos, node := range topo.Column(c) {
 			ba := m.BankArea(d.Banks[pos].SizeKB)
 			rep.BankMM2 += ba
-			tileFixed[id] += ba
+			tileFixed[node] += ba
 		}
 	}
 
@@ -148,15 +154,20 @@ func (m Model) Analyze(d config.Design) Report {
 
 	// Die layout.
 	scale := (fixedTotal + linkTotal) / fixedTotal
-	switch topo.Kind {
-	case topology.Halo:
+	if topo.Radial {
 		// Spikes radiate from a central core; the die is the square
-		// containing the two longest opposite spikes plus the core.
+		// containing the two longest opposite spikes plus the core. On a
+		// concentrated spike one router tile may appear several times in
+		// the column; count each tile edge once.
 		maxRadial := 0.0
 		for s := 0; s < topo.Columns(); s++ {
 			radial := 0.0
+			prev := -1
 			for _, node := range topo.Column(s) {
-				radial += edge(node, scale)
+				if node != prev {
+					radial += edge(node, scale)
+				}
+				prev = node
 			}
 			if radial > maxRadial {
 				maxRadial = radial
@@ -164,40 +175,50 @@ func (m Model) Analyze(d config.Design) Report {
 		}
 		side := 2*maxRadial + m.CoreEdgeMM
 		rep.ChipMM2 = side * side
-	default:
-		// Meshes: rows pack at the widest row's width.
+	} else {
+		// Planar topologies: tiles pack into the render grid's rows, and
+		// the die is the widest row times the summed row heights. Meshes
+		// render at their mesh coordinates, so this reproduces the
+		// original row packing exactly.
+		_, rh := topo.RenderSize()
+		rowW := make([]float64, rh)
+		rowH := make([]float64, rh)
+		for id := 0; id < n; id++ {
+			_, y := topo.RenderCoord(id)
+			e := edge(id, scale)
+			rowW[y] += e
+			if e > rowH[y] {
+				rowH[y] = e
+			}
+		}
 		maxW, totalH := 0.0, 0.0
-		for y := 0; y < topo.H; y++ {
-			w, h := 0.0, 0.0
-			for x := 0; x < topo.W; x++ {
-				e := edge(topo.NodeAt(x, y), scale)
-				w += e
-				if e > h {
-					h = e
-				}
+		for y := 0; y < rh; y++ {
+			if rowW[y] > maxW {
+				maxW = rowW[y]
 			}
-			if w > maxW {
-				maxW = w
-			}
-			totalH += h
+			totalH += rowH[y]
 		}
 		rep.ChipMM2 = maxW * totalH
 	}
 	if rep.ChipMM2 < rep.L2MM2() {
 		rep.ChipMM2 = rep.L2MM2()
 	}
-	return rep
+	return rep, nil
 }
 
 // Table4 analyzes the four designs the paper reports (A, B, E, F).
-func Table4(m Model) []Report {
+func Table4(m Model) ([]Report, error) {
 	var out []Report
 	for _, id := range []string{"A", "B", "E", "F"} {
 		d, err := config.DesignByID(id)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		out = append(out, m.Analyze(d))
+		rep, err := m.Analyze(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
 	}
-	return out
+	return out, nil
 }

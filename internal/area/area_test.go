@@ -7,6 +7,16 @@ import (
 	"nucanet/internal/config"
 )
 
+// analyze unwraps Analyze for designs the tests know to be valid.
+func analyze(t *testing.T, m Model, d config.Design) Report {
+	t.Helper()
+	r, err := m.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestBankAreaScaling(t *testing.T) {
 	m := DefaultModel()
 	if got := m.BankArea(64); math.Abs(got-1.06) > 1e-9 {
@@ -48,7 +58,7 @@ func TestDesignANetworkShare(t *testing.T) {
 	// Headline observation: the network occupies ~52% of the cache area
 	// in the 16x16 mesh design.
 	d, _ := config.DesignByID("A")
-	r := DefaultModel().Analyze(d)
+	r := analyze(t, DefaultModel(), d)
 	share := (r.RouterPct() + r.LinkPct()) / 100
 	if share < 0.44 || share < 0 || share > 0.60 {
 		t.Fatalf("design A network share = %.3f, want ~0.52", share)
@@ -60,7 +70,10 @@ func TestDesignANetworkShare(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
-	reps := Table4(DefaultModel())
+	reps, err := Table4(DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(reps) != 4 {
 		t.Fatalf("rows = %d, want 4", len(reps))
 	}
@@ -122,7 +135,7 @@ func TestHaloChipUsesCoreEdge(t *testing.T) {
 	e, _ := config.DesignByID("E")
 	small := m
 	small.CoreEdgeMM = 0
-	if small.Analyze(e).ChipMM2 >= m.Analyze(e).ChipMM2 {
+	if analyze(t, small, e).ChipMM2 >= analyze(t, m, e).ChipMM2 {
 		t.Fatal("core edge must enlarge the halo die")
 	}
 }
@@ -131,7 +144,7 @@ func TestMeshChipEqualsPackedRows(t *testing.T) {
 	// Uniform mesh: chip should be close to the L2 itself (square tiles
 	// pack perfectly).
 	a, _ := config.DesignByID("A")
-	r := DefaultModel().Analyze(a)
+	r := analyze(t, DefaultModel(), a)
 	if r.ChipMM2 > r.L2MM2()*1.02 {
 		t.Fatalf("design A chip %.1f should pack tight vs L2 %.1f", r.ChipMM2, r.L2MM2())
 	}
@@ -142,13 +155,13 @@ func TestNonUniformMeshLayouts(t *testing.T) {
 	m := DefaultModel()
 	for _, id := range []string{"C", "D"} {
 		d, _ := config.DesignByID(id)
-		r := m.Analyze(d)
+		r := analyze(t, m, d)
 		if r.L2MM2() <= 0 || r.ChipMM2 < r.L2MM2() {
 			t.Fatalf("design %s layout broken: %+v", id, r)
 		}
 		// Fewer routers and links than Design A in both.
 		a, _ := config.DesignByID("A")
-		ra := m.Analyze(a)
+		ra := analyze(t, m, a)
 		if r.RouterMM2 >= ra.RouterMM2 || r.LinkMM2 >= ra.LinkMM2 {
 			t.Fatalf("design %s should have a smaller network than A", id)
 		}
@@ -156,7 +169,7 @@ func TestNonUniformMeshLayouts(t *testing.T) {
 	// D's non-uniform banks beat C's uniform 256KB banks on density.
 	c, _ := config.DesignByID("C")
 	dd, _ := config.DesignByID("D")
-	if m.Analyze(dd).BankMM2 >= m.Analyze(c).BankMM2 {
+	if analyze(t, m, dd).BankMM2 >= analyze(t, m, c).BankMM2 {
 		t.Fatal("non-uniform column should pack denser than uniform 256KB")
 	}
 }
@@ -165,7 +178,7 @@ func TestSimplifiedMeshSavesNetwork(t *testing.T) {
 	m := DefaultModel()
 	a, _ := config.DesignByID("A")
 	b, _ := config.DesignByID("B")
-	ra, rb := m.Analyze(a), m.Analyze(b)
+	ra, rb := analyze(t, m, a), analyze(t, m, b)
 	if rb.RouterMM2 >= ra.RouterMM2 {
 		t.Fatal("3-port routers must shrink router area")
 	}

@@ -56,6 +56,18 @@ func (a *agent) send(t int64, kind flit.Kind, dst topology.NodeID, ep flit.Endpo
 	})
 }
 
+// sendBank schedules a packet to the bank at position pos of this
+// agent's column, addressing it both by router (Dst) and by column
+// position (DstPos) so nodes hosting several banks demux correctly.
+func (a *agent) sendBank(t int64, kind flit.Kind, pos int, addr uint64, payload any) {
+	a.sched.at(t, func(now int64) {
+		a.sys.Net.Send(&flit.Packet{
+			Kind: kind, Src: a.node, Dst: a.sys.bankNode(a.col, pos), DstEp: flit.ToBank,
+			DstPos: int16(pos), Addr: addr, Payload: payload,
+		}, now)
+	})
+}
+
 // dataKind returns the packet kind answering the core: block data for
 // reads, a one-flit acknowledgment for writes.
 func dataKind(o *op, fromHit bool) flit.Kind {
@@ -173,10 +185,10 @@ func (a *agent) probe(o *op, now int64) {
 				// at the MRU bank, and the push chain terminating here.
 				o.chainNeeded = 2
 			}
-			a.send(fin, flit.BlockToMRU, a.sys.bankNode(a.col, 0), flit.ToBank,
+			a.sendBank(fin, flit.BlockToMRU, 0,
 				o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true})
 		case Promotion:
-			a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, a.pos-1), flit.ToBank,
+			a.sendBank(fin, flit.ReplaceBlock, a.pos-1,
 				o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true, promoUp: true})
 		}
 		return
@@ -213,7 +225,7 @@ func (a *agent) probe(o *op, now int64) {
 		if o.req.Write {
 			kind = flit.WriteData
 		}
-		a.send(fin, kind, a.sys.bankNode(a.col, a.pos+1), flit.ToBank, o.req.Addr, o)
+		a.sendBank(fin, kind, a.pos+1, o.req.Addr, o)
 		return
 	}
 	a.requestMemory(o, fin)
@@ -237,7 +249,7 @@ func (a *agent) startFastChain(o *op, fin int64) {
 		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
 		return
 	}
-	a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, 1), flit.ToBank,
+	a.sendBank(fin, flit.ReplaceBlock, 1,
 		o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true})
 }
 
@@ -251,7 +263,7 @@ func (a *agent) forwardFastUnit(o *op, fin int64) {
 		out.hasBlock = true
 	}
 	if a.pos < a.last {
-		a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, a.pos+1), flit.ToBank, o.req.Addr, out)
+		a.sendBank(fin, flit.ReplaceBlock, a.pos+1, o.req.Addr, out)
 		return
 	}
 	// LRU bank: replacement is complete; the victim leaves the cache.
@@ -284,7 +296,7 @@ func (a *agent) combined(m *blockMsg, now int64) {
 		o.req.Hit = true
 		o.req.HitBank = a.pos
 		a.send(fin, dataKind(o, true), o.ctrl, flit.ToCore, o.req.Addr, o)
-		a.send(fin, flit.BlockToMRU, a.sys.bankNode(a.col, 0), flit.ToBank,
+		a.sendBank(fin, flit.BlockToMRU, 0,
 			o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true})
 		return
 	}
@@ -298,7 +310,7 @@ func (a *agent) combined(m *blockMsg, now int64) {
 		a.bk.Insert(o.set, m.blk)
 	}
 	if a.pos < a.last {
-		a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, a.pos+1), flit.ToBank, o.req.Addr, out)
+		a.sendBank(fin, flit.ReplaceBlock, a.pos+1, o.req.Addr, out)
 		return
 	}
 	if out.hasBlock && out.blk.Dirty {
@@ -336,7 +348,7 @@ func (a *agent) chain(m *blockMsg, now int64) {
 		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
 		return
 	}
-	a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, a.pos+1), flit.ToBank,
+	a.sendBank(fin, flit.ReplaceBlock, a.pos+1,
 		o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true})
 }
 
@@ -352,7 +364,7 @@ func (a *agent) promoUp(m *blockMsg, now int64) {
 	}
 	victim, _ := a.bk.EvictLRU(o.set)
 	a.bk.Insert(o.set, m.blk)
-	a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, a.pos+1), flit.ToBank,
+	a.sendBank(fin, flit.ReplaceBlock, a.pos+1,
 		o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true, promoDown: true})
 }
 
@@ -390,7 +402,7 @@ func (a *agent) storeMRU(m *blockMsg, now int64) {
 			a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
 			return
 		}
-		a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, 1), flit.ToBank,
+		a.sendBank(fin, flit.ReplaceBlock, 1,
 			o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true})
 	default:
 		panic("cache: BlockToMRU under promotion")
@@ -418,7 +430,7 @@ func (a *agent) fill(o *op, now int64) {
 				}
 				a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
 			} else {
-				a.send(fin, flit.ReplaceBlock, a.sys.bankNode(a.col, 1), flit.ToBank,
+				a.sendBank(fin, flit.ReplaceBlock, 1,
 					o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true})
 			}
 		} else {
@@ -433,8 +445,9 @@ func (a *agent) fill(o *op, now int64) {
 // reply to the column's MRU bank.
 func (a *agent) requestMemory(o *op, fin int64) {
 	a.send(fin, flit.MemReadReq, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, mem.ReadReq{
-		ReplyTo: a.sys.bankNode(o.col, 0),
-		ReplyEp: flit.ToBank,
-		Cookie:  o,
+		ReplyTo:  a.sys.bankNode(o.col, 0),
+		ReplyEp:  flit.ToBank,
+		ReplyPos: 0,
+		Cookie:   o,
 	})
 }

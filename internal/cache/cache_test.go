@@ -21,8 +21,9 @@ func testDesign(w, h int) config.Design {
 	}
 	return config.Design{
 		ID: "T", Description: "test mesh",
-		Kind: topology.Mesh, W: w, H: h, CoreX: w / 2, MemX: w / 2,
-		HorizDelay: 1, VertDelay: []int{1},
+		Topology: "mesh",
+		Params: topology.Params{W: w, H: h, CoreX: w / 2, MemX: w / 2,
+			HorizDelay: 1, VertDelay: []int{1}},
 		Banks: banks, Router: router.DefaultConfig(),
 	}
 }
@@ -31,8 +32,9 @@ func testDesign(w, h int) config.Design {
 func nonUniformTestDesign() config.Design {
 	return config.Design{
 		ID: "TN", Description: "test non-uniform mesh",
-		Kind: topology.SimplifiedMesh, W: 4, H: 3, CoreX: 1, MemX: 1,
-		HorizDelay: 1, VertDelay: []int{1},
+		Topology: "simplified-mesh",
+		Params: topology.Params{W: 4, H: 3, CoreX: 1, MemX: 1,
+			HorizDelay: 1, VertDelay: []int{1}},
 		Banks: []bank.Spec{
 			{SizeKB: 64, Ways: 1}, {SizeKB: 128, Ways: 2}, {SizeKB: 256, Ways: 4},
 		},
@@ -69,7 +71,7 @@ func TestGoldenEquivalenceAllCombos(t *testing.T) {
 			policy, mode := policy, mode
 			t.Run(fmt.Sprintf("%v-%v", policy, mode), func(t *testing.T) {
 				k := sim.NewKernel()
-				s := New(k, d, policy, mode)
+				s := MustNew(k, d, policy, mode)
 				gen := trace.NewSynthetic(mustProfile(t, "gcc"), s.AM, 11)
 				warm := gen.WarmBlocks(s.Design.Ways())
 				s.Warm(warm)
@@ -132,7 +134,7 @@ func TestGoldenEquivalenceNonUniform(t *testing.T) {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
 			k := sim.NewKernel()
-			s := New(k, d, policy, Multicast)
+			s := MustNew(k, d, policy, Multicast)
 			gen := trace.NewSynthetic(mustProfile(t, "twolf"), s.AM, 5)
 			warm := gen.WarmBlocks(s.Design.Ways())
 			s.Warm(warm)
@@ -170,7 +172,7 @@ func TestFastLRUFunctionallyEqualsLRU(t *testing.T) {
 	d := testDesign(4, 4)
 	outcomes := func(policy Policy, mode Mode) []outcome {
 		k := sim.NewKernel()
-		s := New(k, d, policy, mode)
+		s := MustNew(k, d, policy, mode)
 		gen := trace.NewSynthetic(mustProfile(t, "bzip2"), s.AM, 21)
 		s.Warm(gen.WarmBlocks(s.Design.Ways()))
 		var reqs []*Request
@@ -202,7 +204,7 @@ func TestFastLRUFunctionallyEqualsLRU(t *testing.T) {
 func TestSingleHitMRULatency(t *testing.T) {
 	d := testDesign(4, 4)
 	k := sim.NewKernel()
-	s := New(k, d, FastLRU, Multicast)
+	s := MustNew(k, d, FastLRU, Multicast)
 	// Place one block at the MRU bank of column 2.
 	addr := s.AM.Compose(7, 9, 2)
 	s.Bank(2, 0).InsertLRU(9, bank.Block{Tag: 7})
@@ -231,7 +233,7 @@ func TestMissGoesToMemoryAndFills(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			d := testDesign(4, 4)
 			k := sim.NewKernel()
-			s := New(k, d, FastLRU, mode)
+			s := MustNew(k, d, FastLRU, mode)
 			gen := trace.NewSynthetic(mustProfile(t, "gcc"), s.AM, 31)
 			s.Warm(gen.WarmBlocks(s.Design.Ways()))
 			addr := s.AM.Compose(999999, 5, 1) // never-seen tag
@@ -267,7 +269,7 @@ func TestMissGoesToMemoryAndFills(t *testing.T) {
 func TestDirtyVictimWritesBack(t *testing.T) {
 	d := testDesign(4, 2) // 2-way columns: quick to evict
 	k := sim.NewKernel()
-	s := New(k, d, FastLRU, Multicast)
+	s := MustNew(k, d, FastLRU, Multicast)
 	set, col := 3, 1
 	// Write to a block (makes it dirty), then push it out with misses.
 	wa := s.AM.Compose(50, set, col)
@@ -291,7 +293,7 @@ func TestDirtyVictimWritesBack(t *testing.T) {
 func TestSetSerializationAndColumnWindow(t *testing.T) {
 	d := testDesign(4, 4)
 	k := sim.NewKernel()
-	s := New(k, d, FastLRU, Multicast)
+	s := MustNew(k, d, FastLRU, Multicast)
 	gen := trace.NewSynthetic(mustProfile(t, "gcc"), s.AM, 1)
 	s.Warm(gen.WarmBlocks(s.Design.Ways()))
 	warm := gen.WarmBlocks(2)
@@ -312,7 +314,7 @@ func TestSetSerializationAndColumnWindow(t *testing.T) {
 	}
 	// Different sets of one column pipeline within the column window.
 	k2 := sim.NewKernel()
-	s2 := New(k2, d, FastLRU, Multicast)
+	s2 := MustNew(k2, d, FastLRU, Multicast)
 	gen2 := trace.NewSynthetic(mustProfile(t, "gcc"), s2.AM, 1)
 	s2.Warm(gen2.WarmBlocks(s2.Design.Ways()))
 	w2 := gen2.WarmBlocks(1)
@@ -370,7 +372,7 @@ func TestFastLRUShortensColumnOccupancy(t *testing.T) {
 	d := testDesign(8, 8)
 	occ := func(policy Policy, mode Mode) float64 {
 		k := sim.NewKernel()
-		s := New(k, d, policy, mode)
+		s := MustNew(k, d, policy, mode)
 		gen := trace.NewSynthetic(mustProfile(t, "gcc"), s.AM, 77)
 		s.Warm(gen.WarmBlocks(s.Design.Ways()))
 		runPaced(t, s, trace.Take(gen, 1000), 25)
@@ -395,7 +397,7 @@ func TestFastLRUWinsUnderLoad(t *testing.T) {
 	d := testDesign(8, 8)
 	avg := func(policy Policy, mode Mode) float64 {
 		k := sim.NewKernel()
-		s := New(k, d, policy, mode)
+		s := MustNew(k, d, policy, mode)
 		gen := trace.NewSynthetic(mustProfile(t, "gcc"), s.AM, 77)
 		s.Warm(gen.WarmBlocks(s.Design.Ways()))
 		runPaced(t, s, trace.Take(gen, 1200), 9)
@@ -415,7 +417,7 @@ func TestFastLRUHalvesBankAccesses(t *testing.T) {
 	d := testDesign(4, 8)
 	accesses := func(policy Policy) uint64 {
 		k := sim.NewKernel()
-		s := New(k, d, policy, Unicast)
+		s := MustNew(k, d, policy, Unicast)
 		gen := trace.NewSynthetic(mustProfile(t, "gcc"), s.AM, 13)
 		s.Warm(gen.WarmBlocks(s.Design.Ways()))
 		for _, a := range trace.Take(gen, 800) {
@@ -441,7 +443,7 @@ func TestLRUConcentratesHitsAtMRU(t *testing.T) {
 	d := testDesign(4, 8)
 	mruShare := func(policy Policy) float64 {
 		k := sim.NewKernel()
-		s := New(k, d, policy, Multicast)
+		s := MustNew(k, d, policy, Multicast)
 		gen := trace.NewSynthetic(mustProfile(t, "twolf"), s.AM, 3)
 		s.Warm(gen.WarmBlocks(s.Design.Ways()))
 		for _, a := range trace.Take(gen, 2000) {
@@ -466,7 +468,7 @@ func TestBlockConservation(t *testing.T) {
 	d := testDesign(4, 4)
 	for _, policy := range []Policy{Promotion, LRU, FastLRU} {
 		k := sim.NewKernel()
-		s := New(k, d, policy, Multicast)
+		s := MustNew(k, d, policy, Multicast)
 		gen := trace.NewSynthetic(mustProfile(t, "mcf"), s.AM, 17)
 		s.Warm(gen.WarmBlocks(s.Design.Ways()))
 		for _, a := range trace.Take(gen, 1000) {
@@ -500,7 +502,7 @@ func TestBlockConservation(t *testing.T) {
 func TestBreakdownConsistency(t *testing.T) {
 	d := testDesign(4, 4)
 	k := sim.NewKernel()
-	s := New(k, d, FastLRU, Multicast)
+	s := MustNew(k, d, FastLRU, Multicast)
 	gen := trace.NewSynthetic(mustProfile(t, "gcc"), s.AM, 9)
 	s.Warm(gen.WarmBlocks(s.Design.Ways()))
 	var reqs []*Request
@@ -530,7 +532,7 @@ func TestDeterministicRuns(t *testing.T) {
 	d := testDesign(4, 4)
 	run := func() (float64, uint64) {
 		k := sim.NewKernel()
-		s := New(k, d, FastLRU, Multicast)
+		s := MustNew(k, d, FastLRU, Multicast)
 		gen := trace.NewSynthetic(mustProfile(t, "vpr"), s.AM, 23)
 		s.Warm(gen.WarmBlocks(s.Design.Ways()))
 		for _, a := range trace.Take(gen, 600) {
@@ -555,7 +557,7 @@ func TestWorksOnAllSixDesigns(t *testing.T) {
 		d := d
 		t.Run(d.ID, func(t *testing.T) {
 			k := sim.NewKernel()
-			s := New(k, d, FastLRU, Multicast)
+			s := MustNew(k, d, FastLRU, Multicast)
 			gen := trace.NewSynthetic(mustProfile(t, "gcc"), s.AM, 2)
 			s.Warm(gen.WarmBlocks(s.Design.Ways()))
 			var reqs []*Request

@@ -107,10 +107,15 @@ func (c *Controller) dispatch(col int, now int64) {
 			Addr: r.Addr, Payload: o,
 		}
 		if c.sys.Mode == Multicast {
+			// The probe addresses every bank of the column: all routers on
+			// the path deliver replicas, and DstPos -1 fans each delivery
+			// out to all banks sharing the router (concentrated nodes).
 			pkt.Dst = c.sys.bankNode(col, c.sys.lastPos())
 			pkt.PathDeliver = c.sys.lastPos() > 0
+			pkt.DstPos = -1
 		} else {
 			pkt.Dst = c.sys.bankNode(col, 0)
+			pkt.DstPos = 0
 		}
 		c.sys.Net.Send(pkt, now)
 	}
@@ -142,9 +147,10 @@ func (c *Controller) Deliver(pkt *flit.Packet, now int64) {
 				Kind: flit.MemReadReq, Src: c.Node,
 				Dst: c.sys.Topo.Mem, DstEp: flit.ToMem, Addr: o.req.Addr,
 				Payload: mem.ReadReq{
-					ReplyTo: c.sys.bankNode(o.col, 0),
-					ReplyEp: flit.ToBank,
-					Cookie:  o,
+					ReplyTo:  c.sys.bankNode(o.col, 0),
+					ReplyEp:  flit.ToBank,
+					ReplyPos: 0,
+					Cookie:   o,
 				},
 			}, now)
 		}

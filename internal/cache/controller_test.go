@@ -11,7 +11,7 @@ import (
 func TestQueueWaitAccumulatesUnderSetContention(t *testing.T) {
 	d := testDesign(4, 4)
 	k := sim.NewKernel()
-	s := New(k, d, FastLRU, Multicast)
+	s := MustNew(k, d, FastLRU, Multicast)
 	gen := trace.NewSynthetic(mustProfile(t, "gcc"), s.AM, 1)
 	s.Warm(gen.WarmBlocks(s.Design.Ways()))
 	warm := gen.WarmBlocks(4)
@@ -35,7 +35,7 @@ func TestQueueWaitAccumulatesUnderSetContention(t *testing.T) {
 func TestPendingDrainsToZero(t *testing.T) {
 	d := testDesign(4, 4)
 	k := sim.NewKernel()
-	s := New(k, d, LRU, Unicast)
+	s := MustNew(k, d, LRU, Unicast)
 	gen := trace.NewSynthetic(mustProfile(t, "vpr"), s.AM, 2)
 	s.Warm(gen.WarmBlocks(s.Design.Ways()))
 	for _, a := range trace.Take(gen, 50) {
@@ -57,7 +57,7 @@ func TestControllerAtCustomNode(t *testing.T) {
 	// owns its own column state and receives its own notifications.
 	d := testDesign(4, 4)
 	k := sim.NewKernel()
-	s := New(k, d, FastLRU, Multicast)
+	s := MustNew(k, d, FastLRU, Multicast)
 	gen := trace.NewSynthetic(mustProfile(t, "gcc"), s.AM, 3)
 	s.Warm(gen.WarmBlocks(s.Design.Ways()))
 

@@ -16,7 +16,7 @@ func TestMulticastReplicaReordering(t *testing.T) {
 	d := testDesign(4, 4)
 	for _, policy := range []Policy{FastLRU, LRU, Promotion} {
 		k := sim.NewKernel()
-		s := New(k, d, policy, Multicast)
+		s := MustNew(k, d, policy, Multicast)
 		p, _ := trace.ProfileByName("gcc")
 		gen := trace.NewSynthetic(p, s.AM, 1)
 		warm := gen.WarmBlocks(s.Design.Ways())

@@ -35,16 +35,29 @@ type System struct {
 	tel    *telemetry.Collector
 }
 
-// New builds a system over a fresh kernel-registered network.
-func New(k *sim.Kernel, d config.Design, policy Policy, mode Mode) *System {
-	topo := d.Build()
+// New builds a system over a fresh kernel-registered network. It errors
+// when the design's topology cannot be built or its routing fails the
+// static deadlock-freedom check.
+func New(k *sim.Kernel, d config.Design, policy Policy, mode Mode) (*System, error) {
+	topo, err := d.Build()
+	if err != nil {
+		return nil, err
+	}
 	s := &System{
 		K: k, Design: d, Policy: policy, Mode: mode,
 		Topo: topo,
 		AM:   d.AddrMap(),
 		Lat:  stats.NewLatency(len(d.Banks)),
 	}
-	s.Net = network.New(k, topo, routing.ForKind(topo.Kind), d.Router)
+	alg, err := routing.For(topo)
+	if err != nil {
+		return nil, err
+	}
+	s.Net, err = network.New(k, topo, alg, d.Router)
+	if err != nil {
+		return nil, err
+	}
+	muxes := make(map[topology.NodeID]*bankMux)
 	s.agents = make([][]*agent, topo.Columns())
 	for c := 0; c < topo.Columns(); c++ {
 		col := topo.Column(c)
@@ -56,13 +69,58 @@ func New(k *sim.Kernel, d config.Design, policy Policy, mode Mode) *System {
 			}
 			a.sched.register(k)
 			s.agents[c][p] = a
-			s.Net.Attach(node, flit.ToBank, a)
+			// Concentrated topologies place several banks of one column
+			// on a router; a mux demuxes ToBank deliveries by DstPos.
+			// Single-bank nodes attach the agent directly, keeping the
+			// one-bank-per-router fast path allocation-free.
+			if m, ok := muxes[node]; ok {
+				m.agents = append(m.agents, a)
+			} else if topo.BanksAt(node) > 1 {
+				m = &bankMux{agents: []*agent{a}}
+				muxes[node] = m
+				s.Net.Attach(node, flit.ToBank, m)
+			} else {
+				s.Net.Attach(node, flit.ToBank, a)
+			}
 		}
 	}
 	s.Ctrl = newController(s)
 	s.Net.Attach(topo.Core, flit.ToCore, s.Ctrl)
 	s.Memory = mem.New(k, s.Net, mem.DefaultConfig())
+	return s, nil
+}
+
+// MustNew is New for tests and examples with known-good designs.
+func MustNew(k *sim.Kernel, d config.Design, policy Policy, mode Mode) *System {
+	s, err := New(k, d, policy, mode)
+	if err != nil {
+		panic(err)
+	}
 	return s
+}
+
+// bankMux fans ToBank deliveries at one router out to the banks hosted
+// there (concentrated topologies). DstPos selects the bank by column
+// position; -1 delivers to every hosted bank in ascending position
+// order — the node-local leg of a multicast tag-match.
+type bankMux struct {
+	agents []*agent // ascending column-position order
+}
+
+func (m *bankMux) Deliver(pkt *flit.Packet, now int64) {
+	if pkt.DstPos < 0 {
+		for _, a := range m.agents {
+			a.Deliver(pkt, now)
+		}
+		return
+	}
+	for _, a := range m.agents {
+		if int16(a.pos) == pkt.DstPos {
+			a.Deliver(pkt, now)
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache: no bank at position %d of node %d for %v", pkt.DstPos, pkt.Dst, pkt))
 }
 
 // EnableTelemetry installs the probe collector across the system: the

@@ -10,7 +10,7 @@ import (
 // Design registers the standard -design flag (a Table 3 id) and returns
 // its destination.
 func Design(fs *flag.FlagSet) *string {
-	return fs.String("design", "A", "network design (A-F, Table 3)")
+	return fs.String("design", "A", "network design (A-F from Table 3, or extra: R ring, G cmesh)")
 }
 
 // Scheme registers the typed -policy and -mode flags. cache.Policy and

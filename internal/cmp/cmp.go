@@ -91,20 +91,31 @@ func (h *hub) Deliver(pkt *flit.Packet, now int64) {
 	}
 }
 
-// New builds an n-core system over a mesh design (A-D). Cores spread
+// New builds an n-core system over a grid design (A-D, G). Cores spread
 // evenly along the top row; the topology's own core attachment point is
-// ignored in favor of the computed positions.
-func New(k *sim.Kernel, d config.Design, policy cache.Policy, mode cache.Mode, n int) *System {
-	if d.Kind == topology.Halo {
-		panic("cmp: halo designs have a single hub; CMP needs a mesh design (A-D)")
+// ignored in favor of the computed positions. It errors — rather than
+// panicking — on designs CMP cannot host (radial topologies have a
+// single hub, gridless topologies no top row) and on out-of-range core
+// counts, so batch runners can skip and report unsupported combinations.
+func New(k *sim.Kernel, d config.Design, policy cache.Policy, mode cache.Mode, n int) (*System, error) {
+	cs, err := cache.New(k, d, policy, mode)
+	if err != nil {
+		return nil, err
 	}
-	if n < 1 || n > d.W {
-		panic(fmt.Sprintf("cmp: core count %d out of range [1,%d]", n, d.W))
+	if cs.Topo.Radial {
+		return nil, fmt.Errorf("cmp: design %s is radial (%s): a single hub hosts every core; CMP needs a grid design (A-D, G)",
+			d.ID, cs.Topo.Name)
 	}
-	cs := cache.New(k, d, policy, mode)
+	if !cs.Topo.HasGrid() {
+		return nil, fmt.Errorf("cmp: design %s (%s) has no full router grid to place cores on",
+			d.ID, cs.Topo.Name)
+	}
+	w := cs.Topo.W
+	if n < 1 || n > w {
+		return nil, fmt.Errorf("cmp: core count %d out of range [1,%d]", n, w)
+	}
 	s := &System{K: k, Cache: cs, N: n}
 
-	w := d.W
 	for i := 0; i < n; i++ {
 		x := (2*i + 1) * w / (2 * n) // evenly spread along the top row
 		node := cs.Topo.NodeAt(x, 0)
@@ -131,7 +142,7 @@ func New(k *sim.Kernel, d config.Design, policy cache.Policy, mode cache.Mode, n
 		}
 		s.home[col] = best
 	}
-	return s
+	return s, nil
 }
 
 func abs(x int) int {

@@ -1,6 +1,7 @@
 package cmp
 
 import (
+	"strings"
 	"testing"
 
 	"nucanet/internal/cache"
@@ -39,7 +40,10 @@ func TestSingleCoreMatchesStructure(t *testing.T) {
 func TestHomeAssignmentNearest(t *testing.T) {
 	d, _ := config.DesignByID("A")
 	k := sim.NewKernel()
-	s := New(k, d, cache.FastLRU, cache.Multicast, 4)
+	s, err := New(k, d, cache.FastLRU, cache.Multicast, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Cores sit at x = 2, 6, 10, 14; columns split into four runs.
 	for col := 0; col < 16; col++ {
 		want := 0
@@ -122,7 +126,10 @@ func TestDeterministicCMP(t *testing.T) {
 func TestOffsetAddrDisjoint(t *testing.T) {
 	d, _ := config.DesignByID("A")
 	k := sim.NewKernel()
-	s := New(k, d, cache.FastLRU, cache.Multicast, 2)
+	s, err := New(k, d, cache.FastLRU, cache.Multicast, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	am := s.Cache.AM
 	addr := am.Compose(42, 13, 5)
 	a0 := s.OffsetAddr(addr, 0)
@@ -151,13 +158,16 @@ func TestCMPOnSimplifiedMesh(t *testing.T) {
 }
 
 func TestHaloRejected(t *testing.T) {
+	// Radial designs have a single hub: CMP must refuse them with a
+	// descriptive error (not a panic) so batch sweeps can skip-and-report.
 	d, _ := config.DesignByID("E")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("halo CMP must panic")
-		}
-	}()
-	New(sim.NewKernel(), d, cache.FastLRU, cache.Multicast, 2)
+	_, err := New(sim.NewKernel(), d, cache.FastLRU, cache.Multicast, 2)
+	if err == nil {
+		t.Fatal("halo CMP must be rejected")
+	}
+	if !strings.Contains(err.Error(), "radial") {
+		t.Fatalf("error should explain the radial rejection, got: %v", err)
+	}
 }
 
 func TestRunErrors(t *testing.T) {
@@ -175,7 +185,10 @@ func TestRunErrors(t *testing.T) {
 func TestWarmSplitsWays(t *testing.T) {
 	d, _ := config.DesignByID("A")
 	k := sim.NewKernel()
-	s := New(k, d, cache.FastLRU, cache.Multicast, 4)
+	s, err := New(k, d, cache.FastLRU, cache.Multicast, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	gens := make([][][]uint64, 4)
 	for i := range gens {
 		g := trace.NewSynthetic(mustProf(t), s.Cache.AM, uint64(i+1))

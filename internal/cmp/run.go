@@ -75,7 +75,10 @@ func Run(opt Options) (Result, error) {
 	}
 
 	k := sim.NewKernel()
-	s := New(k, d, opt.Policy, opt.Mode, opt.Cores)
+	s, err := New(k, d, opt.Policy, opt.Mode, opt.Cores)
+	if err != nil {
+		return Result{}, err
+	}
 
 	// Per-core workloads on private tag ranges, warmed interleaved.
 	gens := make([]*trace.Synthetic, opt.Cores)

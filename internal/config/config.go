@@ -5,6 +5,12 @@
 // banks (C), or 16 columns of {64,64,128,256,512} KB non-uniform banks
 // (D, F). All keep 16 bank-set columns of total associativity 16 and 1024
 // sets per bank, so one address map fits all.
+//
+// A design names its topology family (the topology package's registry)
+// and carries one topology.Params value; Build resolves the name. Beyond
+// Table 3, the catalogue carries extra registered-family designs (ring,
+// concentrated mesh) reachable through DesignByID but excluded from
+// Designs(), so paper table iterations stay exactly A-F.
 package config
 
 import (
@@ -22,16 +28,11 @@ type Design struct {
 	ID          string
 	Description string
 
-	Kind topology.Kind
-	// Mesh parameters.
-	W, H        int
-	CoreX, MemX int
-	HorizDelay  int
-	VertDelay   []int
-	// Halo parameters.
-	Spikes, SpikeLen int
-	SpikeDelay       []int
-	MemWireDelay     int
+	// Topology names the registered topology family ("mesh",
+	// "simplified-mesh", "minimal-mesh", "halo", "ring", "cmesh", or any
+	// family the embedding program registered); Params feeds its builder.
+	Topology string
+	Params   topology.Params
 
 	// Banks lists the bank specs of one column, MRU to LRU position.
 	Banks []bank.Spec
@@ -39,40 +40,18 @@ type Design struct {
 	Router router.Config
 }
 
-// Build constructs the design's topology.
-func (d Design) Build() *topology.Topology {
-	switch d.Kind {
-	case topology.Mesh:
-		return topology.NewMesh(topology.MeshSpec{
-			W: d.W, H: d.H, CoreX: d.CoreX, MemX: d.MemX,
-			HorizDelay: d.HorizDelay, VertDelay: d.VertDelay,
-		})
-	case topology.SimplifiedMesh:
-		return topology.NewSimplifiedMesh(topology.MeshSpec{
-			W: d.W, H: d.H, CoreX: d.CoreX, MemX: d.MemX,
-			HorizDelay: d.HorizDelay, VertDelay: d.VertDelay,
-		})
-	case topology.MinimalMesh:
-		return topology.NewMinimalMesh(topology.MeshSpec{
-			W: d.W, H: d.H, CoreX: d.CoreX, MemX: d.MemX,
-			HorizDelay: d.HorizDelay, VertDelay: d.VertDelay,
-		})
-	case topology.Halo:
-		return topology.NewHalo(topology.HaloSpec{
-			Spikes: d.Spikes, Length: d.SpikeLen,
-			LinkDelay: d.SpikeDelay, MemWireDelay: d.MemWireDelay,
-		})
+// Build constructs the design's topology through the family registry.
+func (d Design) Build() (*topology.Topology, error) {
+	t, err := topology.Build(d.Topology, d.Params)
+	if err != nil {
+		return nil, fmt.Errorf("config %s: %w", d.ID, err)
 	}
-	panic(fmt.Sprintf("config: unknown kind %v", d.Kind))
+	return t, nil
 }
 
-// Columns returns the number of bank-set columns.
-func (d Design) Columns() int {
-	if d.Kind == topology.Halo {
-		return d.Spikes
-	}
-	return d.W
-}
+// Columns returns the number of bank-set columns (Params.W for every
+// registered family: mesh width, spike count, ring size, cmesh columns).
+func (d Design) Columns() int { return d.Params.W }
 
 // Ways returns the total bank-set associativity.
 func (d Design) Ways() int {
@@ -124,20 +103,23 @@ func Designs() []Design {
 	return []Design{
 		{
 			ID: "A", Description: "16x16 mesh, uniform 64KB banks (baseline)",
-			Kind: topology.Mesh, W: 16, H: 16, CoreX: 7, MemX: 8,
-			HorizDelay: 1, VertDelay: []int{1},
+			Topology: "mesh",
+			Params: topology.Params{W: 16, H: 16, CoreX: 7, MemX: 8,
+				HorizDelay: 1, VertDelay: []int{1}},
 			Banks: uniform64(16), Router: rc,
 		},
 		{
 			ID: "B", Description: "16x16 simplified mesh (XYX), uniform 64KB banks",
-			Kind: topology.SimplifiedMesh, W: 16, H: 16, CoreX: 7, MemX: 7,
-			HorizDelay: 1, VertDelay: []int{1},
+			Topology: "simplified-mesh",
+			Params: topology.Params{W: 16, H: 16, CoreX: 7, MemX: 7,
+				HorizDelay: 1, VertDelay: []int{1}},
 			Banks: uniform64(16), Router: rc,
 		},
 		{
 			ID: "C", Description: "16x4 simplified mesh, uniform 256KB banks",
-			Kind: topology.SimplifiedMesh, W: 16, H: 4, CoreX: 7, MemX: 7,
-			HorizDelay: 2, VertDelay: []int{2},
+			Topology: "simplified-mesh",
+			Params: topology.Params{W: 16, H: 4, CoreX: 7, MemX: 7,
+				HorizDelay: 2, VertDelay: []int{2}},
 			Banks: []bank.Spec{
 				{SizeKB: 256, Ways: 4}, {SizeKB: 256, Ways: 4},
 				{SizeKB: 256, Ways: 4}, {SizeKB: 256, Ways: 4},
@@ -146,28 +128,61 @@ func Designs() []Design {
 		},
 		{
 			ID: "D", Description: "16x5 simplified mesh, non-uniform banks",
-			Kind: topology.SimplifiedMesh, W: 16, H: 5, CoreX: 7, MemX: 7,
-			HorizDelay: 3, VertDelay: []int{0, 1, 2, 2, 3},
+			Topology: "simplified-mesh",
+			Params: topology.Params{W: 16, H: 5, CoreX: 7, MemX: 7,
+				HorizDelay: 3, VertDelay: []int{0, 1, 2, 2, 3}},
 			Banks: nonUniform(), Router: rc,
 		},
 		{
 			ID: "E", Description: "16-spike halo, spike length 16, uniform 64KB banks",
-			Kind: topology.Halo, Spikes: 16, SpikeLen: 16,
-			SpikeDelay: []int{1}, MemWireDelay: 16,
+			Topology: "halo",
+			Params: topology.Params{W: 16, H: 16,
+				VertDelay: []int{1}, MemWireDelay: 16},
 			Banks: uniform64(16), Router: rc,
 		},
 		{
 			ID: "F", Description: "16-spike halo, spike length 5, non-uniform banks",
-			Kind: topology.Halo, Spikes: 16, SpikeLen: 5,
-			SpikeDelay: []int{1, 1, 2, 2, 3}, MemWireDelay: 9,
+			Topology: "halo",
+			Params: topology.Params{W: 16, H: 5,
+				VertDelay: []int{1, 1, 2, 2, 3}, MemWireDelay: 9},
 			Banks: nonUniform(), Router: rc,
 		},
 	}
 }
 
-// DesignByID looks up one of A-F.
+// ExtraDesigns returns registered-family configurations beyond Table 3:
+// a bidirectional ring and a concentrated mesh. They run the same
+// protocols, sweeps, and telemetry as A-F but stay out of Designs() so
+// paper-table iterations reproduce exactly the published six rows.
+func ExtraDesigns() []Design {
+	rc := router.DefaultConfig()
+	return []Design{
+		{
+			ID: "R", Description: "16-node bidirectional ring, one 64KB bank per node",
+			Topology: "ring",
+			Params: topology.Params{W: 16, H: 1, CoreX: 0, MemX: 8,
+				HorizDelay: 1},
+			Banks: uniform64(1), Router: rc,
+		},
+		{
+			ID: "G", Description: "4x4 concentrated mesh, 4 banks per router, 64KB banks",
+			Topology: "cmesh",
+			Params: topology.Params{W: 4, H: 16, CoreX: 1, MemX: 2,
+				HorizDelay: 1, VertDelay: []int{1}, Concentration: 4},
+			Banks: uniform64(16), Router: rc,
+		},
+	}
+}
+
+// DesignByID looks up a design: A-F from Table 3, or an extra
+// registered-family design (R, G).
 func DesignByID(id string) (Design, error) {
 	for _, d := range Designs() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	for _, d := range ExtraDesigns() {
 		if d.ID == id {
 			return d, nil
 		}
@@ -175,13 +190,13 @@ func DesignByID(id string) (Design, error) {
 	return Design{}, fmt.Errorf("config: unknown design %q", id)
 }
 
-// Resolve unifies the two ways a caller names a design — a Table 3 id or
-// an ad-hoc override — into one validated configuration. The override
+// Resolve unifies the two ways a caller names a design — a catalogue id
+// or an ad-hoc override — into one validated configuration. The override
 // wins when non-nil (its contents are validated, catching malformed
 // ad-hoc designs like the power-gating sweep's truncated columns before
-// they reach the simulator); otherwise the id is looked up in Table 3.
-// The returned Design is a private copy: mutating it does not affect the
-// caller's override or the Table 3 catalogue.
+// they reach the simulator); otherwise the id is looked up in the
+// catalogue. The returned Design is a private copy: mutating it does not
+// affect the caller's override or the catalogue.
 func Resolve(id string, override *Design) (*Design, error) {
 	var d Design
 	if override != nil {
@@ -198,17 +213,13 @@ func Resolve(id string, override *Design) (*Design, error) {
 	return &d, nil
 }
 
-// Validate checks a design's internal consistency.
+// Validate checks a design's internal consistency: a buildable topology
+// whose column shape matches the bank specs, uniform set counts, and
+// structural graph invariants. Malformed designs surface here as errors
+// (never panics), so Resolve rejects them before a simulator is built.
 func (d Design) Validate() error {
 	if len(d.Banks) == 0 {
 		return fmt.Errorf("config %s: no banks", d.ID)
-	}
-	rows := d.H
-	if d.Kind == topology.Halo {
-		rows = d.SpikeLen
-	}
-	if len(d.Banks) != rows {
-		return fmt.Errorf("config %s: %d bank specs for %d rows", d.ID, len(d.Banks), rows)
 	}
 	sets := d.Banks[0].Sets()
 	for _, b := range d.Banks {
@@ -216,7 +227,13 @@ func (d Design) Validate() error {
 			return fmt.Errorf("config %s: bank %v has %d sets, want %d", d.ID, b, b.Sets(), sets)
 		}
 	}
-	topo := d.Build()
+	topo, err := d.Build()
+	if err != nil {
+		return err
+	}
+	if len(d.Banks) != topo.Ways() {
+		return fmt.Errorf("config %s: %d bank specs for %d column positions", d.ID, len(d.Banks), topo.Ways())
+	}
 	if err := topo.Validate(); err != nil {
 		return fmt.Errorf("config %s: %v", d.ID, err)
 	}

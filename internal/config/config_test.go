@@ -36,20 +36,32 @@ func TestAllDesigns16MB16Way(t *testing.T) {
 	}
 }
 
-func TestDesignKinds(t *testing.T) {
-	want := map[string]topology.Kind{
-		"A": topology.Mesh,
-		"B": topology.SimplifiedMesh,
-		"C": topology.SimplifiedMesh,
-		"D": topology.SimplifiedMesh,
-		"E": topology.Halo,
-		"F": topology.Halo,
+func TestDesignTopologies(t *testing.T) {
+	want := map[string]string{
+		"A": "mesh",
+		"B": "simplified-mesh",
+		"C": "simplified-mesh",
+		"D": "simplified-mesh",
+		"E": "halo",
+		"F": "halo",
 	}
 	for _, d := range Designs() {
-		if d.Kind != want[d.ID] {
-			t.Errorf("design %s kind = %v, want %v", d.ID, d.Kind, want[d.ID])
+		if d.Topology != want[d.ID] {
+			t.Errorf("design %s topology = %q, want %q", d.ID, d.Topology, want[d.ID])
+		}
+		if !contains(topology.Names(), d.Topology) {
+			t.Errorf("design %s topology %q is not a registered builder", d.ID, d.Topology)
 		}
 	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 func TestDesignByID(t *testing.T) {
@@ -57,7 +69,7 @@ func TestDesignByID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d.SpikeLen != 5 || d.MemWireDelay != 9 {
+	if d.Params.H != 5 || d.Params.MemWireDelay != 9 {
 		t.Fatalf("design F = %+v", d)
 	}
 	if _, err := DesignByID("Z"); err == nil {
@@ -68,7 +80,10 @@ func TestDesignByID(t *testing.T) {
 func TestBankCounts(t *testing.T) {
 	counts := map[string]int{"A": 256, "B": 256, "C": 64, "D": 80, "E": 256, "F": 80}
 	for _, d := range Designs() {
-		topo := d.Build()
+		topo, err := d.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got := topo.NumBanks(); got != counts[d.ID] {
 			t.Errorf("design %s banks = %d, want %d", d.ID, got, counts[d.ID])
 		}
@@ -77,12 +92,18 @@ func TestBankCounts(t *testing.T) {
 
 func TestDesignAMemoryAtBottom(t *testing.T) {
 	a, _ := DesignByID("A")
-	topo := a.Build()
+	topo, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if topo.Mem == topo.Core {
 		t.Fatal("design A memory must be at the bottom row, not at the core")
 	}
 	b, _ := DesignByID("B")
-	tb := b.Build()
+	tb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tb.Mem != tb.Core {
 		t.Fatal("design B must co-locate memory with the core")
 	}

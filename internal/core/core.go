@@ -112,7 +112,10 @@ func Run(opt Options) (Result, error) {
 	}
 
 	k := sim.NewKernel()
-	sys := cache.New(k, d, opt.Policy, opt.Mode)
+	sys, err := cache.New(k, d, opt.Policy, opt.Mode)
+	if err != nil {
+		return Result{}, err
+	}
 	gen := trace.NewSynthetic(prof, sys.AM, opt.Seed)
 	sys.Warm(gen.WarmBlocks(d.Ways()))
 	accs := trace.Take(gen, opt.Accesses)

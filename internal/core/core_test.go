@@ -153,7 +153,10 @@ func TestTable2Check(t *testing.T) {
 }
 
 func TestTable4Rows(t *testing.T) {
-	reps := Table4()
+	reps, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(reps) != 4 {
 		t.Fatalf("rows = %d", len(reps))
 	}

@@ -176,7 +176,7 @@ func Fig9(cfg ExpConfig) ([]Fig9Cell, SweepReport, error) {
 }
 
 // Table4 regenerates the area analysis.
-func Table4() []area.Report {
+func Table4() ([]area.Report, error) {
 	return area.Table4(area.DefaultModel())
 }
 
@@ -232,7 +232,10 @@ func ComputeHeadline(cfg ExpConfig) (Headline, SweepReport, error) {
 	h.FastLRUIPCGain = gm(fastGain)
 	h.HaloIPCGain = gm(haloGain)
 
-	reps := Table4()
+	reps, err := Table4()
+	if err != nil {
+		return h, rep, err
+	}
 	var aNet, fNet float64
 	for _, r := range reps {
 		switch r.DesignID {
@@ -300,9 +303,9 @@ func PowerGatingSweep(cfg ExpConfig, bench string) ([]PowerCell, SweepReport, er
 	for i, ways := range waysOn {
 		d := base
 		d.ID = "A-gated"
-		d.H = ways
-		d.Banks = d.Banks[:ways] // re-slice only: the backing array is shared read-only
-		d.MemX = d.CoreX         // keep the memory column valid for short meshes
+		d.Params.H = ways
+		d.Banks = d.Banks[:ways]       // re-slice only: the backing array is shared read-only
+		d.Params.MemX = d.Params.CoreX // keep the memory column valid for short meshes
 		gated := d
 		opts[i] = Options{
 			Design: &gated, Policy: cache.FastLRU, Mode: cache.Multicast,

@@ -18,8 +18,9 @@ func testDesign() config.Design {
 		banks[i] = bank.Spec{SizeKB: 64, Ways: 1}
 	}
 	return config.Design{
-		ID: "T", Kind: topology.Mesh, W: 4, H: 4, CoreX: 2, MemX: 2,
-		HorizDelay: 1, VertDelay: []int{1},
+		ID: "T", Topology: "mesh",
+		Params: topology.Params{W: 4, H: 4, CoreX: 2, MemX: 2,
+			HorizDelay: 1, VertDelay: []int{1}},
 		Banks: banks, Router: router.DefaultConfig(),
 	}
 }
@@ -31,7 +32,7 @@ func runBench(t *testing.T, name string, n int, seed uint64) (Result, *cache.Sys
 		t.Fatal(err)
 	}
 	k := sim.NewKernel()
-	sys := cache.New(k, testDesign(), cache.FastLRU, cache.Multicast)
+	sys := cache.MustNew(k, testDesign(), cache.FastLRU, cache.Multicast)
 	gen := trace.NewSynthetic(prof, sys.AM, seed)
 	sys.Warm(gen.WarmBlocks(sys.Design.Ways()))
 	core := New(k, sys, prof, trace.Take(gen, n), DefaultConfig())
@@ -73,7 +74,7 @@ func TestHighAccessRateSuffers(t *testing.T) {
 func TestInstructionAccounting(t *testing.T) {
 	prof, _ := trace.ProfileByName("vpr")
 	k := sim.NewKernel()
-	sys := cache.New(k, testDesign(), cache.FastLRU, cache.Multicast)
+	sys := cache.MustNew(k, testDesign(), cache.FastLRU, cache.Multicast)
 	gen := trace.NewSynthetic(prof, sys.AM, 3)
 	sys.Warm(gen.WarmBlocks(sys.Design.Ways()))
 	accs := trace.Take(gen, 500)
@@ -110,7 +111,7 @@ func TestWindowLimitsOverlap(t *testing.T) {
 	prof, _ := trace.ProfileByName("mcf")
 	run := func(window int) float64 {
 		k := sim.NewKernel()
-		sys := cache.New(k, testDesign(), cache.FastLRU, cache.Multicast)
+		sys := cache.MustNew(k, testDesign(), cache.FastLRU, cache.Multicast)
 		gen := trace.NewSynthetic(prof, sys.AM, 4)
 		sys.Warm(gen.WarmBlocks(sys.Design.Ways()))
 		cfg := DefaultConfig()
@@ -131,7 +132,7 @@ func TestBlockingProbSlowsCore(t *testing.T) {
 	prof, _ := trace.ProfileByName("art")
 	run := func(p float64) float64 {
 		k := sim.NewKernel()
-		sys := cache.New(k, testDesign(), cache.FastLRU, cache.Multicast)
+		sys := cache.MustNew(k, testDesign(), cache.FastLRU, cache.Multicast)
 		gen := trace.NewSynthetic(prof, sys.AM, 4)
 		sys.Warm(gen.WarmBlocks(sys.Design.Ways()))
 		cfg := DefaultConfig()
@@ -151,7 +152,7 @@ func TestBlockingProbSlowsCore(t *testing.T) {
 func TestEmptyAccessListPanics(t *testing.T) {
 	prof, _ := trace.ProfileByName("gcc")
 	k := sim.NewKernel()
-	sys := cache.New(k, testDesign(), cache.FastLRU, cache.Multicast)
+	sys := cache.MustNew(k, testDesign(), cache.FastLRU, cache.Multicast)
 	core := New(k, sys, prof, nil, DefaultConfig())
 	defer func() {
 		if recover() == nil {

@@ -112,6 +112,12 @@ type Packet struct {
 	// Src and Dst are router node ids. DstEp selects the agent at Dst.
 	Src, Dst int
 	DstEp    Endpoint
+	// DstPos disambiguates bank endpoints on concentrated topologies,
+	// where one router hosts several banks of a column: it is the
+	// column position (0 = MRU side) of the addressed bank, or -1 to
+	// address every bank at the node (multicast tag-match probes).
+	// Topologies with one bank per router leave it 0.
+	DstPos int16
 	// PathDeliver marks a path-based multicast: a copy of the packet is
 	// delivered to the bank at every router on the final straight
 	// segment of the route (the bank column / spike), ending at Dst.

@@ -44,10 +44,13 @@ func (c Config) ReadLatency() int {
 
 // ReadReq is the payload of a MemReadReq packet: where the MemBlock reply
 // should go and an opaque protocol cookie passed through unchanged.
+// ReplyPos is the bank position at ReplyTo for concentrated topologies
+// (several banks per router); single-bank nodes leave it 0.
 type ReadReq struct {
-	ReplyTo topology.NodeID
-	ReplyEp flit.Endpoint
-	Cookie  any
+	ReplyTo  topology.NodeID
+	ReplyEp  flit.Endpoint
+	ReplyPos int16
+	Cookie   any
 }
 
 // Stats counts memory activity.
@@ -119,7 +122,8 @@ func (m *Memory) Deliver(pkt *flit.Packet, now int64) {
 		}
 		reply := &flit.Packet{
 			Kind: flit.MemBlock, Src: m.node, Dst: req.ReplyTo,
-			DstEp: req.ReplyEp, Addr: pkt.Addr, Payload: req.Cookie,
+			DstEp: req.ReplyEp, DstPos: req.ReplyPos,
+			Addr: pkt.Addr, Payload: req.Cookie,
 		}
 		m.replies = append(m.replies, pendingReply{sendAt: ready, pkt: reply})
 		m.k.WakeAt(ready, m.kid)

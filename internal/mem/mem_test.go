@@ -26,7 +26,7 @@ func build(t *testing.T, wire int) (*sim.Kernel, *network.Network, *Memory, *sin
 	topo := topology.NewMesh(topology.MeshSpec{W: 4, H: 4, CoreX: 1, MemX: 2})
 	topo.MemWireDelay = wire
 	k := sim.NewKernel()
-	net := network.New(k, topo, routing.XY{}, router.DefaultConfig())
+	net := network.MustNew(k, topo, routing.XY{}, router.DefaultConfig())
 	m := New(k, net, DefaultConfig())
 	s := &sink{}
 	for id := 0; id < topo.NumNodes(); id++ {
@@ -131,7 +131,7 @@ func TestWriteBackAbsorbed(t *testing.T) {
 func TestHaloWireDelayPickedUpFromTopology(t *testing.T) {
 	topo := topology.NewHalo(topology.HaloSpec{Spikes: 4, Length: 4, MemWireDelay: 16})
 	k := sim.NewKernel()
-	net := network.New(k, topo, routing.Spike{}, router.DefaultConfig())
+	net := network.MustNew(k, topo, routing.Spike{}, router.DefaultConfig())
 	m := New(k, net, DefaultConfig())
 	s := &sink{}
 	for id := 0; id < topo.NumNodes(); id++ {

@@ -62,16 +62,26 @@ type Network struct {
 }
 
 // New builds and wires a network over topo using alg and router config cfg,
-// registering every router with k.
-func New(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg router.Config) *Network {
+// registering every router with k. Construction fails if the routing
+// table cannot be built or — the static safety gate — if the routes
+// admit a channel-dependence cycle (routing.VerifyDeadlockFree): a
+// topology/algorithm pair that could deadlock is rejected before a
+// single cycle is simulated.
+func New(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg router.Config) (*Network, error) {
 	// Precompute the routing table once so the per-flit hot path is a
 	// flat array lookup; idempotent if the caller already passed a table.
-	alg = routing.Precompute(topo, alg)
-	n := &Network{K: k, Topo: topo, Alg: alg, pool: &flit.PacketPool{}}
+	tb, err := routing.Precompute(topo, alg)
+	if err != nil {
+		return nil, err
+	}
+	if err := routing.VerifyDeadlockFree(topo, tb); err != nil {
+		return nil, err
+	}
+	n := &Network{K: k, Topo: topo, Alg: tb, pool: &flit.PacketPool{}}
 	n.Routers = make([]*router.Router, topo.NumNodes())
 	n.eps = make([][3]Endpoint, topo.NumNodes())
 	for id := 0; id < topo.NumNodes(); id++ {
-		n.Routers[id] = router.New(id, topo, alg, cfg, k)
+		n.Routers[id] = router.New(id, topo, tb, cfg, k)
 		n.Routers[id].SetPool(n.pool)
 	}
 	for id := 0; id < topo.NumNodes(); id++ {
@@ -89,6 +99,16 @@ func New(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg rout
 		n.Routers[id].SetDeliver(func(pkt *flit.Packet, now int64) {
 			n.deliver(node, pkt, now)
 		})
+	}
+	return n, nil
+}
+
+// MustNew is New for topology/algorithm pairs the caller knows to be
+// valid (tests, examples); it panics on construction errors.
+func MustNew(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg router.Config) *Network {
+	n, err := New(k, topo, alg, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return n
 }

@@ -37,7 +37,7 @@ type rig struct {
 
 func newRig(topo *topology.Topology) *rig {
 	k := sim.NewKernel()
-	n := New(k, topo, routing.ForKind(topo.Kind), router.DefaultConfig())
+	n := MustNew(k, topo, mustFor(topo), router.DefaultConfig())
 	r := &rig{k: k, topo: topo, net: n, core: &collector{}, mem: &collector{}}
 	r.banks = make([]*collector, topo.NumNodes())
 	for id := 0; id < topo.NumNodes(); id++ {
@@ -57,6 +57,14 @@ func (r *rig) run(t *testing.T, budget int64) {
 	if got := r.net.InFlight(); got != 0 {
 		t.Fatalf("in-flight flits after quiescence = %d, want 0", got)
 	}
+}
+
+func mustFor(topo *topology.Topology) routing.Algorithm {
+	alg, err := routing.For(topo)
+	if err != nil {
+		panic(err)
+	}
+	return alg
 }
 
 func mesh16() *topology.Topology {
@@ -317,7 +325,7 @@ func TestPipelinedRouterIsSlower(t *testing.T) {
 	k := sim.NewKernel()
 	cfg := router.DefaultConfig()
 	cfg.Stages = 3
-	n := New(k, topo, routing.XY{}, cfg)
+	n := MustNew(k, topo, routing.XY{}, cfg)
 	sink := &collector{}
 	dst := topo.NodeAt(7, 15)
 	for id := 0; id < topo.NumNodes(); id++ {

@@ -5,7 +5,6 @@ import (
 
 	"nucanet/internal/flit"
 	"nucanet/internal/router"
-	"nucanet/internal/routing"
 	"nucanet/internal/sim"
 	"nucanet/internal/topology"
 )
@@ -87,7 +86,7 @@ func TestMinimalMeshRemovesPaperLinkCount(t *testing.T) {
 func TestMissingEndpointPanics(t *testing.T) {
 	topo := topology.NewMesh(topology.MeshSpec{W: 4, H: 4, CoreX: 1, MemX: 2})
 	k := sim.NewKernel()
-	net := New(k, topo, routing.ForKind(topo.Kind), router.DefaultConfig())
+	net := MustNew(k, topo, mustFor(topo), router.DefaultConfig())
 	// No endpoints attached: delivery must panic loudly rather than
 	// silently dropping protocol packets.
 	net.Send(net.NewPacket(flit.ReadReq, topo.Core, topo.NodeAt(1, 3), flit.ToBank, 0), 0)

@@ -120,7 +120,7 @@ type Router struct {
 	ID   topology.NodeID
 	cfg  Config
 	topo *topology.Topology
-	alg  routing.Algorithm
+	tb   *routing.Table
 	k    *sim.Kernel
 	kid  int
 
@@ -152,12 +152,15 @@ type Router struct {
 }
 
 // New creates an unwired router; the network package connects neighbors,
-// sets the deliver callback, and registers it with the kernel.
-func New(id topology.NodeID, topo *topology.Topology, alg routing.Algorithm, cfg Config, k *sim.Kernel) *Router {
+// sets the deliver callback, and registers it with the kernel. Routers
+// consume routing only through a precomputed table (routing.Precompute),
+// never a raw algorithm: route lookup is a flat array index regardless
+// of the topology family.
+func New(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel) *Router {
 	cfg = cfg.withDefaults()
 	np := topo.NumPorts(id)
 	r := &Router{
-		ID: id, cfg: cfg, topo: topo, alg: alg, k: k,
+		ID: id, cfg: cfg, topo: topo, tb: tb, k: k,
 		numPorts:   np,
 		neighbor:   make([]*Router, np),
 		neighborIn: make([]int, np),
@@ -354,7 +357,7 @@ func (r *Router) assignRoute(v *vcState, pkt *flit.Packet) {
 	if pkt.Dst == r.ID {
 		v.route = ejectOut
 	} else {
-		p, ok := r.alg.NextPort(r.topo, r.ID, pkt.Dst)
+		p, ok := r.tb.NextPort(r.topo, r.ID, pkt.Dst)
 		if !ok || r.neighbor[p] == nil {
 			panic(fmt.Sprintf("router %d: no route for %v (port %d)", r.ID, pkt, p))
 		}
@@ -367,7 +370,7 @@ func (r *Router) assignRoute(v *vcState, pkt *flit.Packet) {
 			v.replNeed = true
 			rp := r.pool.Get()
 			rp.ID, rp.Kind, rp.Src, rp.Dst = pkt.ID, pkt.Kind, pkt.Src, r.ID
-			rp.DstEp, rp.Addr = flit.ToBank, pkt.Addr
+			rp.DstEp, rp.DstPos, rp.Addr = flit.ToBank, pkt.DstPos, pkt.Addr
 			rp.Payload, rp.Injected = pkt.Payload, pkt.Injected
 			v.replPkt = rp
 		}

@@ -20,8 +20,8 @@ import (
 // An upward route (Y- then X in row 0) and a downward route (X in row 0
 // then Y+) both climb the order; no cyclic channel dependency can form.
 func ChannelRank(t *topology.Topology, from topology.NodeID, port int) (int, error) {
-	if t.Kind != topology.SimplifiedMesh && t.Kind != topology.Mesh {
-		return 0, fmt.Errorf("routing: ChannelRank needs a mesh, got %v", t.Kind)
+	if !t.HasGrid() {
+		return 0, fmt.Errorf("routing: ChannelRank needs a full W x H grid, %s has none", t.Name)
 	}
 	n := t.Nodes[from]
 	w, h := t.W, t.H

@@ -1,18 +1,28 @@
-// Package routing implements the routing algorithms of the paper: standard
-// dimension-ordered XY for the full mesh, the deadlock-free XYX algorithm
+// Package routing implements the routing algorithms of the paper and the
+// machinery that connects them to the network layer: standard
+// dimension-ordered XY for full meshes, the deadlock-free XYX algorithm
 // of Figure 5 for simplified meshes (horizontal links only in the core
-// row), and spike routing for halo networks.
+// row), spike routing for halo networks, and dateline-avoiding ring
+// routing for bidirectional rings.
 //
-// XYX deadlock freedom is established constructively: ChannelRank assigns
-// every directed link a rank in a total order, and every XYX route follows
-// strictly increasing ranks (property-tested for all source/destination
-// pairs). The order is: all Y- (toward the core row) channels, then the
+// Algorithms register by name; a topology names the algorithm it is
+// designed for (Topology.Routing) and For resolves it. The network layer
+// consumes algorithms only through Precompute's flat next-port tables,
+// and VerifyDeadlockFree (verify.go) checks any (topology, algorithm)
+// pair for cyclic channel dependencies at network-construction time.
+//
+// XYX deadlock freedom is additionally established constructively:
+// ChannelRank assigns every directed link a rank in a total order, and
+// every XYX route follows strictly increasing ranks (property-tested for
+// all source/destination pairs, and re-proved by the verifier's rank
+// pass). The order is: all Y- (toward the core row) channels, then the
 // row-0 X channels, then all Y+ channels; within a class, ranks grow in
 // the direction of travel.
 package routing
 
 import (
 	"fmt"
+	"sort"
 
 	"nucanet/internal/topology"
 )
@@ -25,6 +35,57 @@ type Algorithm interface {
 	// ok is false if dst is unreachable from cur under this algorithm
 	// (or cur == dst, which has no next hop).
 	NextPort(t *topology.Topology, cur, dst topology.NodeID) (port int, ok bool)
+}
+
+var algorithms = map[string]Algorithm{}
+
+// RegisterAlgorithm adds an algorithm under a unique key (the name
+// topologies reference via Topology.Routing). Registering a duplicate
+// key is a programming error and panics.
+func RegisterAlgorithm(key string, alg Algorithm) {
+	if key == "" || alg == nil {
+		panic("routing: RegisterAlgorithm with empty key or nil algorithm")
+	}
+	if _, dup := algorithms[key]; dup {
+		panic(fmt.Sprintf("routing: algorithm %q registered twice", key))
+	}
+	algorithms[key] = alg
+}
+
+// AlgorithmByName resolves a registered algorithm key.
+func AlgorithmByName(key string) (Algorithm, error) {
+	alg, ok := algorithms[key]
+	if !ok {
+		return nil, fmt.Errorf("routing: unknown algorithm %q (registered: %v)", key, AlgorithmNames())
+	}
+	return alg, nil
+}
+
+// AlgorithmNames returns the registered algorithm keys, sorted.
+func AlgorithmNames() []string {
+	out := make([]string, 0, len(algorithms))
+	for k := range algorithms {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// For returns the algorithm a topology was designed for (its Routing
+// annotation, filled in by the topology builder).
+func For(t *topology.Topology) (Algorithm, error) {
+	alg, err := AlgorithmByName(t.Routing)
+	if err != nil {
+		return nil, fmt.Errorf("routing: topology %s: %w", t.Name, err)
+	}
+	return alg, nil
+}
+
+func init() {
+	RegisterAlgorithm("xy", XY{})
+	RegisterAlgorithm("xyx", XYX{})
+	RegisterAlgorithm("spike", Spike{})
+	RegisterAlgorithm("ring", Ring{})
 }
 
 // XY is dimension-ordered routing: X to the destination column, then Y.
@@ -57,21 +118,31 @@ type XYX struct{}
 func (XYX) Name() string { return "XYX" }
 
 func (XYX) NextPort(t *topology.Topology, cur, dst topology.NodeID) (int, bool) {
+	if cur == dst {
+		return 0, false
+	}
 	a, b := t.Nodes[cur], t.Nodes[dst]
-	xoff := b.X - a.X
-	yoff := b.Y - a.Y
-	if yoff >= 0 {
-		switch {
-		case xoff > 0:
-			return topology.PortEast, true
-		case xoff < 0:
-			return topology.PortWest, true
-		case yoff > 0:
-			return topology.PortSouth, true
-		}
-		return 0, false // cur == dst
+	if a.X != b.X && a.Y != 0 {
+		// Horizontal links exist only in the core row: head there first.
+		// (Routes stay Y- then X then Y+, matching ChannelRank's order.)
+		return topology.PortNorth, true
+	}
+	switch {
+	case a.X < b.X:
+		return topology.PortEast, true
+	case a.X > b.X:
+		return topology.PortWest, true
+	case a.Y < b.Y:
+		return topology.PortSouth, true
 	}
 	return topology.PortNorth, true
+}
+
+// ChannelRank makes XYX a Ranker: the verifier re-derives the paper's
+// deadlock-freedom proof by checking rank monotonicity over every edge
+// of the channel-dependence graph.
+func (XYX) ChannelRank(t *topology.Topology, from topology.NodeID, port int) (int, error) {
+	return ChannelRank(t, from, port)
 }
 
 // Spike routes on halo networks: everything funnels through the hub.
@@ -95,18 +166,34 @@ func (Spike) NextPort(t *topology.Topology, cur, dst topology.NodeID) (int, bool
 	return topology.PortDown, true
 }
 
-// ForKind returns the natural algorithm for a topology kind: XY for full
-// and minimal meshes, XYX for simplified meshes, Spike for halos.
-func ForKind(k topology.Kind) Algorithm {
-	switch k {
-	case topology.Mesh, topology.MinimalMesh:
-		return XY{}
-	case topology.SimplifiedMesh:
-		return XYX{}
-	case topology.Halo:
-		return Spike{}
+// Ring routes on bidirectional rings, avoiding the dateline: the link
+// pair opposite the core (between positions dl and dl+1, where
+// dl = CoreX + N/2 mod N) is excluded from every route, so each
+// direction's channels form an open chain instead of a cycle and no
+// cyclic channel dependency can exist — the link-level analogue of a VC
+// dateline, suited to this simulator's single-class virtual channels.
+// Routes go clockwise (PortEast) unless that would cross the dateline;
+// core-to-bank and bank-to-core traffic is always minimal because the
+// dateline sits diametrically opposite the core.
+type Ring struct{}
+
+func (Ring) Name() string { return "Ring" }
+
+func (Ring) NextPort(t *topology.Topology, cur, dst topology.NodeID) (int, bool) {
+	n := t.W
+	a, b := t.Nodes[cur].X, t.Nodes[dst].X
+	if a == b {
+		return 0, false
 	}
-	panic(fmt.Sprintf("routing: no algorithm for %v", k))
+	dl := (t.Nodes[t.Core].X + n/2) % n
+	cw := (b - a + n) % n    // clockwise hops to dst
+	toDL := (dl - a + n) % n // clockwise hops to the dateline link
+	if toDL < cw {
+		// The clockwise path would use the dateline link dl -> dl+1;
+		// go counter-clockwise (which provably avoids dl+1 -> dl).
+		return topology.PortWest, true
+	}
+	return topology.PortEast, true
 }
 
 // Hop is one step of a walked route.

@@ -258,20 +258,44 @@ func TestPathLatencySumsWireDelays(t *testing.T) {
 	}
 }
 
-func TestForKind(t *testing.T) {
+func TestForPicksDefaultAlgorithm(t *testing.T) {
+	std := topology.MeshSpec{W: 8, H: 8, CoreX: 3, MemX: 4}
 	cases := []struct {
-		k    topology.Kind
+		topo *topology.Topology
 		want string
 	}{
-		{topology.Mesh, "XY"},
-		{topology.MinimalMesh, "XY"},
-		{topology.SimplifiedMesh, "XYX"},
-		{topology.Halo, "Spike"},
+		{topology.NewMesh(std), "XY"},
+		{topology.NewMinimalMesh(std), "XY"},
+		{topology.NewSimplifiedMesh(std), "XYX"},
+		{topology.NewHalo(topology.HaloSpec{Spikes: 8, Length: 8}), "Spike"},
 	}
 	for _, c := range cases {
-		if got := ForKind(c.k).Name(); got != c.want {
-			t.Errorf("ForKind(%v) = %s, want %s", c.k, got, c.want)
+		alg, err := For(c.topo)
+		if err != nil {
+			t.Fatalf("For(%s): %v", c.topo.Name, err)
 		}
+		if got := alg.Name(); got != c.want {
+			t.Errorf("For(%s) = %s, want %s", c.topo.Name, got, c.want)
+		}
+	}
+}
+
+func TestAlgorithmRegistry(t *testing.T) {
+	for _, name := range []string{"xy", "xyx", "spike", "ring"} {
+		alg, err := AlgorithmByName(name)
+		if err != nil {
+			t.Fatalf("AlgorithmByName(%q): %v", name, err)
+		}
+		if alg == nil {
+			t.Fatalf("AlgorithmByName(%q) returned nil", name)
+		}
+	}
+	if _, err := AlgorithmByName("no-such-algorithm"); err == nil {
+		t.Fatal("expected error for unknown algorithm name")
+	}
+	names := AlgorithmNames()
+	if len(names) < 4 {
+		t.Fatalf("AlgorithmNames() = %v, want at least xy/xyx/spike/ring", names)
 	}
 }
 

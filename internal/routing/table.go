@@ -22,11 +22,13 @@ type Table struct {
 	ports []int8 // [cur*nodes+dst], noPort when !ok
 }
 
-// Precompute builds the next-port table for alg over t. Passing an
-// existing *Table returns it unchanged, so wrapping is idempotent.
-func Precompute(t *topology.Topology, alg Algorithm) *Table {
+// Precompute builds the next-port table for alg over t, returning an
+// error when the algorithm emits a port outside the table's int8 range.
+// Passing an existing *Table returns it unchanged, so wrapping is
+// idempotent.
+func Precompute(t *topology.Topology, alg Algorithm) (*Table, error) {
 	if tb, ok := alg.(*Table); ok {
-		return tb
+		return tb, nil
 	}
 	n := t.NumNodes()
 	tb := &Table{base: alg, nodes: n, ports: make([]int8, n*n)}
@@ -39,12 +41,12 @@ func Precompute(t *topology.Topology, alg Algorithm) *Table {
 				continue
 			}
 			if p < 0 || p > 127 {
-				panic(fmt.Sprintf("routing: port %d at node %d out of table range", p, cur))
+				return nil, fmt.Errorf("routing: %s port %d at node %d out of table range", alg.Name(), p, cur)
 			}
 			row[dst] = int8(p)
 		}
 	}
-	return tb
+	return tb, nil
 }
 
 // Name returns the underlying algorithm's name.

@@ -23,7 +23,10 @@ func TestTablePrecomputeMatchesAlgorithm(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			tb := Precompute(tc.topo, tc.alg)
+			tb, err := Precompute(tc.topo, tc.alg)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if tb.Name() != tc.alg.Name() {
 				t.Fatalf("table name %q, want %q", tb.Name(), tc.alg.Name())
 			}
@@ -46,8 +49,15 @@ func TestTablePrecomputeMatchesAlgorithm(t *testing.T) {
 // table, so callers can precompute defensively without stacking lookups.
 func TestPrecomputeIdempotent(t *testing.T) {
 	m := mesh16()
-	tb := Precompute(m, XY{})
-	if tb2 := Precompute(m, tb); tb2 != tb {
+	tb, err := Precompute(m, XY{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := Precompute(m, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2 != tb {
 		t.Fatal("Precompute of a *Table built a new table")
 	}
 	if _, ok := tb.Base().(XY); !ok {

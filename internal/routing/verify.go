@@ -1,0 +1,241 @@
+package routing
+
+import (
+	"fmt"
+	"strings"
+
+	"nucanet/internal/topology"
+)
+
+// Ranker is implemented by algorithms carrying a constructive
+// deadlock-freedom proof: ChannelRank assigns every directed link
+// (channel) a rank in a total order that all routes must climb strictly.
+// When the verified algorithm is a Ranker, VerifyDeadlockFree checks
+// rank monotonicity over every channel-dependence edge — re-deriving the
+// paper-style proof — in addition to the general cycle search.
+type Ranker interface {
+	ChannelRank(t *topology.Topology, from topology.NodeID, port int) (int, error)
+}
+
+// channel identifies one directed link by its origin (node, port).
+type channel struct {
+	from topology.NodeID
+	port int
+}
+
+// trafficPairs returns the ordered communication relation the cache
+// protocols use over t: the core reaches every bank router (requests and
+// probes) and every bank router answers it, replacement chains and
+// promotions move blocks between the routers of one column, memory
+// fills land at each column's MRU bank, writebacks leave from its LRU
+// bank, and the controller exchanges requests with the memory port.
+// Restricting verification to this relation matters: topologies like the
+// minimal mesh (Figure 4(b)) deliberately drop links that only
+// protocol-irrelevant routes would need.
+func trafficPairs(t *topology.Topology) [][2]topology.NodeID {
+	var ps [][2]topology.NodeID
+	add := func(a, b topology.NodeID) {
+		if a != b {
+			ps = append(ps, [2]topology.NodeID{a, b})
+		}
+	}
+	seenBank := make(map[topology.NodeID]bool)
+	for c := 0; c < t.Columns(); c++ {
+		col := t.Column(c)
+		for _, n := range col {
+			if !seenBank[n] {
+				seenBank[n] = true
+				add(t.Core, n)
+				add(n, t.Core)
+			}
+		}
+		add(t.Mem, col[0])          // fills land at the MRU bank
+		add(col[len(col)-1], t.Mem) // writebacks leave from the LRU bank
+		for i, u := range col {
+			for j, v := range col {
+				if i != j {
+					add(u, v) // replacement chains and promotions
+				}
+			}
+		}
+	}
+	add(t.Core, t.Mem)
+	add(t.Mem, t.Core)
+	return ps
+}
+
+// VerifyDeadlockFree statically checks that routing alg over topology t
+// cannot deadlock, by the Dally/Seitz criterion: build the
+// channel-dependence graph — channels are the directed links, and
+// channel c1 depends on c2 when some in-flight packet holding c1 can
+// wait for c2 (a route crosses c1 and then c2; ejection at the
+// destination ends the chain) — and reject any cycle. Wormhole routes
+// hold their whole path, so an acyclic dependence graph guarantees some
+// packet can always drain.
+//
+// The check walks, over the precomputed next-port table (i.e. exactly
+// the routes the network layer will use), every route of the protocol
+// traffic relation (trafficPairs). It also rejects tables that route a
+// required pair over a missing link, dead-end short of the destination,
+// or loop without reaching it, and when alg is a Ranker it additionally
+// proves the used routes follow the algorithm's declared total channel
+// order.
+func VerifyDeadlockFree(t *topology.Topology, alg Algorithm) error {
+	tb, err := Precompute(t, alg)
+	if err != nil {
+		return err
+	}
+	n := t.NumNodes()
+
+	// Dense channel ids for the directed links.
+	chID := make([][]int, n)
+	var chans []channel
+	for v := 0; v < n; v++ {
+		chID[v] = make([]int, t.NumPorts(v))
+		for p := range chID[v] {
+			if _, ok := t.Link(v, p); ok {
+				chID[v][p] = len(chans)
+				chans = append(chans, channel{from: v, port: p})
+			} else {
+				chID[v][p] = -1
+			}
+		}
+	}
+
+	// Dependence edges induced by walking every protocol route over the
+	// table: consecutive channels of one route depend on each other.
+	adj := make([][]int32, len(chans))
+	edgeSeen := make(map[int64]struct{})
+	maxHops := n + 1 // any valid route is a simple path
+	for _, pr := range trafficPairs(t) {
+		src, dst := pr[0], pr[1]
+		cur, prev := src, -1
+		for hop := 0; cur != dst; hop++ {
+			if hop >= maxHops {
+				return fmt.Errorf("routing: %s route %d->%d exceeds %d hops without arriving (cyclic route)",
+					tb.Name(), src, dst, maxHops)
+			}
+			p, ok := tb.NextPort(t, cur, dst)
+			if !ok {
+				return fmt.Errorf("routing: %s route %d->%d dead-ends at node %d",
+					tb.Name(), src, dst, cur)
+			}
+			l, ok := t.Link(cur, p)
+			if !ok {
+				return fmt.Errorf("routing: %s routes %d->%d over missing link (node %d port %d)",
+					tb.Name(), src, dst, cur, p)
+			}
+			c := chID[cur][p]
+			if prev >= 0 {
+				key := int64(prev)<<32 | int64(c)
+				if _, dup := edgeSeen[key]; !dup {
+					edgeSeen[key] = struct{}{}
+					adj[prev] = append(adj[prev], int32(c))
+				}
+			}
+			prev, cur = c, l.To
+		}
+	}
+
+	// Constructive pass: a Ranker's total channel order must strictly
+	// increase across every dependence edge.
+	if rk, ok := baseOf(tb).(Ranker); ok {
+		for c1, outs := range adj {
+			r1, err := rk.ChannelRank(t, chans[c1].from, chans[c1].port)
+			if err != nil {
+				return fmt.Errorf("routing: %s uses unranked channel %s: %w",
+					tb.Name(), chanDesc(t, chans[c1]), err)
+			}
+			for _, c2 := range outs {
+				r2, err := rk.ChannelRank(t, chans[c2].from, chans[c2].port)
+				if err != nil {
+					return fmt.Errorf("routing: %s uses unranked channel %s: %w",
+						tb.Name(), chanDesc(t, chans[c2]), err)
+				}
+				if r1 >= r2 {
+					return fmt.Errorf("routing: %s violates its channel order: %s (rank %d) -> %s (rank %d)",
+						tb.Name(), chanDesc(t, chans[c1]), r1, chanDesc(t, chans[c2]), r2)
+				}
+			}
+		}
+	}
+
+	// General pass: depth-first search for a dependence cycle.
+	if cyc := findCycle(adj); cyc != nil {
+		var b strings.Builder
+		for i, c := range cyc {
+			if i > 0 {
+				b.WriteString(" -> ")
+			}
+			b.WriteString(chanDesc(t, chans[c]))
+		}
+		return fmt.Errorf("routing: %s on %s has a channel-dependence cycle: %s",
+			tb.Name(), t.Name, b.String())
+	}
+	return nil
+}
+
+// baseOf unwraps a precomputed table to the algorithm it was built from.
+func baseOf(alg Algorithm) Algorithm {
+	if tb, ok := alg.(*Table); ok {
+		return tb.base
+	}
+	return alg
+}
+
+// chanDesc renders a channel as from->to node ids.
+func chanDesc(t *topology.Topology, c channel) string {
+	l, _ := t.Link(c.from, c.port)
+	return fmt.Sprintf("%d->%d", c.from, l.To)
+}
+
+// findCycle runs an iterative three-color DFS over adj and returns one
+// cycle (as a channel id sequence, first == entry point) or nil.
+func findCycle(adj [][]int32) []int {
+	const (
+		white = iota // unvisited
+		gray         // on the current DFS path
+		black        // fully explored
+	)
+	color := make([]uint8, len(adj))
+	type frame struct {
+		node int
+		next int // next out-edge index to explore
+	}
+	var stack []frame
+	for start := range adj {
+		if color[start] != white {
+			continue
+		}
+		color[start] = gray
+		stack = append(stack[:0], frame{node: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				to := int(adj[f.node][f.next])
+				f.next++
+				switch color[to] {
+				case white:
+					color[to] = gray
+					stack = append(stack, frame{node: to})
+				case gray:
+					// Cycle: slice the path from to's frame onward.
+					var cyc []int
+					for i := range stack {
+						if stack[i].node == to {
+							for _, fr := range stack[i:] {
+								cyc = append(cyc, fr.node)
+							}
+							break
+						}
+					}
+					return append(cyc, to)
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}

@@ -143,7 +143,7 @@ func (h *Heatmap) RenderNodes(w io.Writer) {
 		}
 	}
 	fmt.Fprintf(w, "node flit heatmap (%s %dx%d, max %d flits/node, %d cycles)\n",
-		h.topo.Kind, gw, gh, max, h.Cycles)
+		h.topo.Name, gw, gh, max, h.Cycles)
 	row := make([]byte, gw)
 	for y := 0; y < gh; y++ {
 		for x := 0; x < gw; x++ {

@@ -16,6 +16,16 @@ type HaloSpec struct {
 	MemWireDelay int
 }
 
+func (s *HaloSpec) check() error {
+	if s.Spikes < 1 || s.Length < 1 {
+		return fmt.Errorf("topology: bad halo %dx%d", s.Spikes, s.Length)
+	}
+	if len(s.LinkDelay) > 1 && len(s.LinkDelay) != s.Length {
+		return fmt.Errorf("topology: %d spike delays for length %d", len(s.LinkDelay), s.Length)
+	}
+	return nil
+}
+
 func (s *HaloSpec) delay(p int) int {
 	switch {
 	case len(s.LinkDelay) == 0:
@@ -27,66 +37,45 @@ func (s *HaloSpec) delay(p int) int {
 	}
 }
 
-// NewHalo builds a halo: a hub router (hosting the core and the memory
-// controller) with one port per spike, and each spike a chain of
-// bank-bearing routers. Every MRU bank is exactly one hop from the hub,
-// which is the topology's defining property.
-func NewHalo(spec HaloSpec) *Topology {
-	if spec.Spikes < 1 || spec.Length < 1 {
-		panic(fmt.Sprintf("topology: bad halo %dx%d", spec.Spikes, spec.Length))
-	}
-	t := &Topology{Kind: Halo, W: spec.Spikes, H: spec.Length, MemWireDelay: spec.MemWireDelay}
-	n := 1 + spec.Spikes*spec.Length
-	t.Nodes = make([]Node, n)
-	t.Ports = make([][]PortLink, n)
+func init() {
+	Register("halo", func(p Params) (*Topology, error) {
+		return newHalo(HaloSpec{Spikes: p.W, Length: p.H,
+			LinkDelay: p.VertDelay, MemWireDelay: p.MemWireDelay})
+	})
+}
 
-	// Node 0 is the hub; it has no bank.
-	hub := 0
-	t.Nodes[hub] = Node{ID: hub, X: -1, Y: -1, Bank: -1}
-	hubPorts := make([]PortLink, spec.Spikes)
-	for p := range hubPorts {
-		hubPorts[p].To = NoLink
+func newHalo(spec HaloSpec) (*Topology, error) {
+	if err := spec.check(); err != nil {
+		return nil, err
 	}
-	t.Ports[hub] = hubPorts
-
-	t.nodeAt = make([][]NodeID, spec.Length)
-	for p := 0; p < spec.Length; p++ {
-		t.nodeAt[p] = make([]NodeID, spec.Spikes)
-	}
-	t.columns = make([][]NodeID, spec.Spikes)
-	bank := 0
+	b := NewBuilder("halo", "spike", spec.Spikes, spec.Length)
+	// Node 0 is the hub: no bank, one port per spike, rendered centered
+	// in an extra top row with the spikes hanging below it.
+	b.RenderSize(spec.Spikes, spec.Length+1)
+	hub := b.AddNode(-1, -1, spec.Spikes)
+	b.PlaceAt(hub, spec.Spikes/2, 0)
 	for s := 0; s < spec.Spikes; s++ {
 		col := make([]NodeID, spec.Length)
 		for p := 0; p < spec.Length; p++ {
-			id := 1 + s*spec.Length + p
-			t.Nodes[id] = Node{ID: id, X: s, Y: p, Bank: bank}
-			bank++
-			ports := make([]PortLink, 2)
-			ports[PortUp].To = NoLink
-			ports[PortDown].To = NoLink
-			t.Ports[id] = ports
-			t.nodeAt[p][s] = id
+			id := b.AddNode(s, p, 2)
+			b.PlaceAt(id, s, p+1)
 			col[p] = id
 		}
-		t.columns[s] = col
-		// Hub to spike head.
-		t.Ports[hub][s] = PortLink{To: col[0], ToPort: PortUp, Delay: spec.delay(0)}
-		t.Ports[col[0]][PortUp] = PortLink{To: hub, ToPort: s, Delay: spec.delay(0)}
-		// Chain down the spike.
+		b.Connect(hub, s, col[0], PortUp, spec.delay(0))
 		for p := 1; p < spec.Length; p++ {
-			t.connect(col[p-1], PortDown, col[p], PortUp, spec.delay(p))
+			b.Connect(col[p-1], PortDown, col[p], PortUp, spec.delay(p))
 		}
+		b.Column(col...)
 	}
-	t.banks = bank
-	t.Core = hub
-	t.Mem = hub
-	return t
+	b.Endpoints(hub, hub)
+	b.Radial()
+	b.MemWire(spec.MemWireDelay)
+	return b.Build()
 }
 
-// Hub returns the hub node of a halo.
-func (t *Topology) Hub() NodeID {
-	if t.Kind != Halo {
-		panic("topology: Hub on non-halo")
-	}
-	return 0
-}
+// NewHalo builds a halo: a hub router (hosting the core and the memory
+// controller) with one port per spike, and each spike a chain of
+// bank-bearing routers. Every MRU bank is exactly one hop from the hub,
+// which is the topology's defining property. It panics on a malformed
+// spec; Build("halo", params) returns errors instead.
+func NewHalo(spec HaloSpec) *Topology { return must(newHalo(spec)) }

@@ -18,6 +18,19 @@ type MeshSpec struct {
 	MemAtCore   bool
 }
 
+func (s *MeshSpec) check() error {
+	if s.W < 1 || s.H < 1 {
+		return fmt.Errorf("topology: bad mesh %dx%d", s.W, s.H)
+	}
+	if s.CoreX < 0 || s.CoreX >= s.W || s.MemX < 0 || s.MemX >= s.W {
+		return fmt.Errorf("topology: core/mem column out of range")
+	}
+	if len(s.VertDelay) > 1 && len(s.VertDelay) != s.H {
+		return fmt.Errorf("topology: %d vertical delays for %d rows", len(s.VertDelay), s.H)
+	}
+	return nil
+}
+
 func (s *MeshSpec) vdelay(y int) int {
 	switch {
 	case len(s.VertDelay) == 0:
@@ -36,115 +49,135 @@ func (s *MeshSpec) hdelay() int {
 	return s.HorizDelay
 }
 
-// NewMesh builds a full 2D mesh (Design A): bidirectional links between all
-// neighbors. The core injects at (CoreX, 0) and the memory at (MemX, H-1)
-// unless MemAtCore.
-func NewMesh(spec MeshSpec) *Topology {
-	t := meshBase(Mesh, spec)
+func init() {
+	Register("mesh", func(p Params) (*Topology, error) {
+		return newMesh(meshSpecOf(p))
+	})
+	Register("simplified-mesh", func(p Params) (*Topology, error) {
+		return newSimplifiedMesh(meshSpecOf(p))
+	})
+	Register("minimal-mesh", func(p Params) (*Topology, error) {
+		return newMinimalMesh(meshSpecOf(p))
+	})
+}
+
+func meshSpecOf(p Params) MeshSpec {
+	return MeshSpec{W: p.W, H: p.H, CoreX: p.CoreX, MemX: p.MemX,
+		HorizDelay: p.HorizDelay, VertDelay: p.VertDelay}
+}
+
+// meshGraph assembles the nodes, vertical links, columns, and endpoints
+// shared by all mesh variants on a Builder; the caller adds the family's
+// horizontal links and finalizes. Node ids are y*W + x; with the full
+// grid present, NodeAt(x, y) recovers them.
+func meshGraph(name, routing string, spec MeshSpec) (*Builder, error) {
+	if err := spec.check(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(name, routing, spec.W, spec.H)
+	at := func(x, y int) NodeID { return y*spec.W + x }
 	for y := 0; y < spec.H; y++ {
-		for x := 0; x+1 < spec.W; x++ {
-			t.connect(t.NodeAt(x, y), PortEast, t.NodeAt(x+1, y), PortWest, spec.hdelay())
+		for x := 0; x < spec.W; x++ {
+			b.AddNode(x, y, 4)
 		}
 	}
-	return t
+	for y := 1; y < spec.H; y++ {
+		d := spec.vdelay(y)
+		for x := 0; x < spec.W; x++ {
+			b.Connect(at(x, y-1), PortSouth, at(x, y), PortNorth, d)
+		}
+	}
+	for x := 0; x < spec.W; x++ {
+		col := make([]NodeID, spec.H)
+		for y := 0; y < spec.H; y++ {
+			col[y] = at(x, y)
+		}
+		b.Column(col...)
+	}
+	mem := at(spec.MemX, spec.H-1)
+	if spec.MemAtCore {
+		mem = at(spec.CoreX, 0)
+	}
+	b.Endpoints(at(spec.CoreX, 0), mem)
+	return b, nil
+}
+
+func newMesh(spec MeshSpec) (*Topology, error) {
+	b, err := meshGraph("mesh", "xy", spec)
+	if err != nil {
+		return nil, err
+	}
+	at := func(x, y int) NodeID { return y*spec.W + x }
+	for y := 0; y < spec.H; y++ {
+		for x := 0; x+1 < spec.W; x++ {
+			b.Connect(at(x, y), PortEast, at(x+1, y), PortWest, spec.hdelay())
+		}
+	}
+	return b.Build()
+}
+
+// NewMesh builds a full 2D mesh (Design A): bidirectional links between all
+// neighbors. The core injects at (CoreX, 0) and the memory at (MemX, H-1)
+// unless MemAtCore. It panics on a malformed spec; Build("mesh", params)
+// returns errors instead.
+func NewMesh(spec MeshSpec) *Topology { return must(newMesh(spec)) }
+
+func newSimplifiedMesh(spec MeshSpec) (*Topology, error) {
+	spec.MemAtCore = true
+	b, err := meshGraph("simplified-mesh", "xyx", spec)
+	if err != nil {
+		return nil, err
+	}
+	for x := 0; x+1 < spec.W; x++ {
+		b.Connect(x, PortEast, x+1, PortWest, spec.hdelay())
+	}
+	return b.Build()
 }
 
 // NewSimplifiedMesh builds the Design B-D topology (Figure 6(b)):
 // horizontal links only in row 0; everything else travels vertically.
 // Requires XYX routing; the memory controller moves next to the core.
-func NewSimplifiedMesh(spec MeshSpec) *Topology {
-	spec.MemAtCore = true
-	t := meshBase(SimplifiedMesh, spec)
-	for x := 0; x+1 < spec.W; x++ {
-		t.connect(t.NodeAt(x, 0), PortEast, t.NodeAt(x+1, 0), PortWest, spec.hdelay())
+func NewSimplifiedMesh(spec MeshSpec) *Topology { return must(newSimplifiedMesh(spec)) }
+
+func newMinimalMesh(spec MeshSpec) (*Topology, error) {
+	b, err := meshGraph("minimal-mesh", "xy", spec)
+	if err != nil {
+		return nil, err
 	}
-	return t
+	at := func(x, y int) NodeID { return y*spec.W + x }
+	hd := spec.hdelay()
+	for y := 0; y < spec.H; y++ {
+		for x := 0; x+1 < spec.W; x++ {
+			a, n := at(x, y), at(x+1, y)
+			switch {
+			case y == 0 || y == spec.H-1:
+				b.Connect(a, PortEast, n, PortWest, hd)
+			case (x >= spec.CoreX && x+1 <= spec.MemX) || (x >= spec.MemX && x+1 <= spec.CoreX):
+				// Between the core-attached and memory-attached columns.
+				b.Connect(a, PortEast, n, PortWest, hd)
+			case x+1 <= spec.CoreX:
+				// West of the core column: eastbound only (toward core).
+				b.OneWay(a, PortEast, n, PortWest, hd)
+			case x >= spec.CoreX:
+				// East of the core column: westbound only (toward core).
+				b.OneWay(n, PortWest, a, PortEast, hd)
+			}
+		}
+	}
+	return b.Build()
 }
 
 // NewMinimalMesh builds Figure 4(b): full horizontal links in the first and
 // last rows and between the core and memory columns; in middle rows only
 // unidirectional horizontal links pointing toward the core column (used by
 // replies under XY routing). Removes (n-2)^2 of the 4(n-1)^2 mesh links.
-func NewMinimalMesh(spec MeshSpec) *Topology {
-	t := meshBase(MinimalMesh, spec)
-	hd := spec.hdelay()
-	for y := 0; y < spec.H; y++ {
-		for x := 0; x+1 < spec.W; x++ {
-			a, b := t.NodeAt(x, y), t.NodeAt(x+1, y)
-			switch {
-			case y == 0 || y == spec.H-1:
-				t.connect(a, PortEast, b, PortWest, hd)
-			case (x >= spec.CoreX && x+1 <= spec.MemX) || (x >= spec.MemX && x+1 <= spec.CoreX):
-				// Between the core-attached and memory-attached columns.
-				t.connect(a, PortEast, b, PortWest, hd)
-			case x+1 <= spec.CoreX:
-				// West of the core column: eastbound only (toward core).
-				t.oneWay(a, PortEast, b, PortWest, hd)
-			case x >= spec.CoreX:
-				// East of the core column: westbound only (toward core).
-				t.oneWay(b, PortWest, a, PortEast, hd)
-			}
-		}
+func NewMinimalMesh(spec MeshSpec) *Topology { return must(newMinimalMesh(spec)) }
+
+// must unwraps builder results for the panicking constructors, which keep
+// the original all-or-nothing contract for in-package callers and tests.
+func must(t *Topology, err error) *Topology {
+	if err != nil {
+		panic(err.Error())
 	}
 	return t
-}
-
-// meshBase creates nodes, vertical links, columns, and endpoints shared by
-// all mesh variants.
-func meshBase(kind Kind, spec MeshSpec) *Topology {
-	if spec.W < 1 || spec.H < 1 {
-		panic(fmt.Sprintf("topology: bad mesh %dx%d", spec.W, spec.H))
-	}
-	if spec.CoreX < 0 || spec.CoreX >= spec.W || spec.MemX < 0 || spec.MemX >= spec.W {
-		panic("topology: core/mem column out of range")
-	}
-	n := spec.W * spec.H
-	t := &Topology{Kind: kind, W: spec.W, H: spec.H}
-	t.Nodes = make([]Node, n)
-	t.Ports = make([][]PortLink, n)
-	t.nodeAt = make([][]NodeID, spec.H)
-	for y := 0; y < spec.H; y++ {
-		t.nodeAt[y] = make([]NodeID, spec.W)
-		for x := 0; x < spec.W; x++ {
-			id := y*spec.W + x
-			t.Nodes[id] = Node{ID: id, X: x, Y: y, Bank: id}
-			ports := make([]PortLink, 4)
-			for p := range ports {
-				ports[p].To = NoLink
-			}
-			t.Ports[id] = ports
-			t.nodeAt[y][x] = id
-		}
-	}
-	t.banks = n
-	for y := 1; y < spec.H; y++ {
-		d := spec.vdelay(y)
-		for x := 0; x < spec.W; x++ {
-			t.connect(t.NodeAt(x, y-1), PortSouth, t.NodeAt(x, y), PortNorth, d)
-		}
-	}
-	t.columns = make([][]NodeID, spec.W)
-	for x := 0; x < spec.W; x++ {
-		col := make([]NodeID, spec.H)
-		for y := 0; y < spec.H; y++ {
-			col[y] = t.NodeAt(x, y)
-		}
-		t.columns[x] = col
-	}
-	t.Core = t.NodeAt(spec.CoreX, 0)
-	if spec.MemAtCore {
-		t.Mem = t.Core
-	} else {
-		t.Mem = t.NodeAt(spec.MemX, spec.H-1)
-	}
-	return t
-}
-
-func (t *Topology) connect(a NodeID, ap int, b NodeID, bp int, delay int) {
-	t.Ports[a][ap] = PortLink{To: b, ToPort: bp, Delay: delay}
-	t.Ports[b][bp] = PortLink{To: a, ToPort: ap, Delay: delay}
-}
-
-func (t *Topology) oneWay(a NodeID, ap int, b NodeID, bp int, delay int) {
-	t.Ports[a][ap] = PortLink{To: b, ToPort: bp, Delay: delay}
 }

@@ -128,7 +128,7 @@ func TestHaloStructure(t *testing.T) {
 	if h.Core != h.Hub() || h.Mem != h.Hub() {
 		t.Fatal("core and memory must attach at the hub")
 	}
-	if h.Nodes[h.Hub()].Bank != -1 {
+	if h.Nodes[h.Hub()].Col != -1 || h.BanksAt(h.Hub()) != 0 {
 		t.Fatal("hub must have no bank")
 	}
 	// Defining property: every MRU bank exactly one hop from the hub.
@@ -207,12 +207,12 @@ func TestLinkSymmetry(t *testing.T) {
 					continue
 				}
 				back, bok := tp.Link(l.To, l.ToPort)
-				if tp.Kind == MinimalMesh && !bok {
+				if tp.Name == "minimal-mesh" && !bok {
 					continue // one-way links allowed
 				}
 				if !bok || back.To != n {
 					t.Fatalf("%v: link %d.%d -> %d.%d has no symmetric return",
-						tp.Kind, n, p, l.To, l.ToPort)
+						tp.Name, n, p, l.To, l.ToPort)
 				}
 				if back.Delay != l.Delay {
 					t.Fatalf("asymmetric delay on %d<->%d", n, l.To)
