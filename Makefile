@@ -1,13 +1,15 @@
 # Tier-1 verification is `make test`; `make check` is the CI gate: gofmt,
 # vet, the race detector over the short-mode subset (which includes the
-# engine's determinism regressions), a one-iteration smoke pass over
-# every benchmark target, and a telemetry smoke run with every probe on.
+# engine's determinism regressions) plus full race passes over the
+# graph/routing and cache-protocol layers, the protocol conformance
+# matrix, a one-iteration smoke pass over every benchmark target, and a
+# telemetry smoke run with every probe on.
 
 GO ?= go
 BENCH_COUNT ?= 3
 BENCH_LABEL ?= after
 
-.PHONY: build test check fmt vet race racegraph bench benchsmoke smoke verify clean
+.PHONY: build test check fmt vet race racegraph racecache conformance bench benchsmoke smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +37,19 @@ race:
 # sweep. These packages are quick even un-shortened.
 racegraph:
 	$(GO) test -race ./internal/topology/ ./internal/routing/
+
+# Full (non-short) race pass over the cache protocol: the typed-message
+# engines and the conformance harness share the policy registry and the
+# per-run telemetry probes across the engine's workers.
+racecache:
+	$(GO) test -race ./internal/cache/
+
+# Protocol conformance: the full micro-scenario matrix (every registered
+# policy × mode × hit position × occupancy × set fullness) against the
+# golden model with the runtime protocol invariants enforced, plus the
+# pre-refactor byte-identity goldens.
+conformance:
+	$(GO) test -run 'TestConformance|TestCatalogueGoldens' -v -count=1 ./internal/cache/
 
 # Compile and run every benchmark once (no measurement) so bench files
 # can never rot silently.
@@ -66,7 +81,7 @@ smoke:
 verify:
 	$(GO) run ./cmd/nucasim -verify-routing
 
-check: fmt vet race racegraph benchsmoke smoke verify
+check: fmt vet race racegraph racecache conformance benchsmoke smoke verify
 
 clean:
 	$(GO) clean ./...

@@ -16,13 +16,19 @@
 // The allocation guards pin the zero-allocation steady-state contract:
 // once traffic is in flight, stepping the kernel allocates nothing — no
 // scratch slices, no queue growth, no closure captures, no replica
-// packets from the GC heap.
+// packets from the GC heap. On top of that, the cache-protocol guard
+// bounds the allocations of one full operation to an exact, explainable
+// sum (typed messages are embedded in the op, so dispatch and chain hops
+// never allocate payloads), and the pool-balance tests prove no pooled
+// replica packet leaks across a full Fast-LRU multicast run.
 package nucanet
 
 import (
 	"testing"
 
+	"nucanet/internal/bank"
 	"nucanet/internal/cache"
+	"nucanet/internal/config"
 	"nucanet/internal/core"
 	"nucanet/internal/flit"
 	"nucanet/internal/network"
@@ -30,6 +36,7 @@ import (
 	"nucanet/internal/routing"
 	"nucanet/internal/sim"
 	"nucanet/internal/topology"
+	"nucanet/internal/trace"
 )
 
 // coreRunAccesses matches the acceptance configuration: design X / gcc /
@@ -189,6 +196,111 @@ func TestSteadyMeshReplicaPoolBalanced(t *testing.T) {
 	}
 	if ps.Live != 0 || ps.Gets != ps.Puts {
 		t.Fatalf("replica pool leak: gets=%d puts=%d live=%d", ps.Gets, ps.Puts, ps.Live)
+	}
+}
+
+// allocGuardDesign is a small 4x4 mesh (4 single-way banks per column)
+// so the per-access allocation count below stays an exact, explainable
+// sum rather than a noisy Design-A-sized number.
+func allocGuardDesign() config.Design {
+	banks := make([]bank.Spec, 4)
+	for i := range banks {
+		banks[i] = bank.Spec{SizeKB: 64, Ways: 1}
+	}
+	return config.Design{
+		ID: "AG", Description: "alloc-guard mesh",
+		Topology: "mesh",
+		Params: topology.Params{W: 4, H: 4, CoreX: 2, MemX: 2,
+			HorizDelay: 1, VertDelay: []int{1}},
+		Banks: banks, Router: router.DefaultConfig(),
+	}
+}
+
+// TestCacheAccessAllocBound pins the protocol-layer allocation contract
+// after the typed-message refactor: one operation allocates exactly its
+// Request, its op (every protocol message plus the memory read request
+// is embedded in the op, so dispatch never allocates a payload), one
+// probed bitmap, and one packet-literal-plus-timer-closure pair per
+// scheduled send. Cycles in between — flits in flight, bank bookings,
+// stash replay, message dispatch — allocate nothing; the network's own
+// zero-alloc guard above covers the router half. Any per-hop payload
+// allocation creeping back into the replacement chain (the pre-refactor
+// design allocated a fresh block message per hop, and boxed the memory
+// read request per miss) trips the miss-path bound.
+func TestCacheAccessAllocBound(t *testing.T) {
+	d := allocGuardDesign()
+	k := sim.NewKernel()
+	sys := cache.MustNew(k, d, cache.FastLRU, cache.Multicast)
+	p, err := trace.ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.NewSynthetic(p, sys.AM, 1)
+	sys.Warm(gen.WarmBlocks(d.Ways()))
+	warm := gen.WarmBlocks(1)
+
+	// MRU hits: every access takes the identical minimal path, so the
+	// average over runs is the exact per-access count.
+	hitAddr := sys.AM.Compose(warm[0*sys.AM.Columns+1][0], 0, 1)
+	hit := testing.AllocsPerRun(100, func() {
+		sys.Issue(hitAddr, false, nil)
+		for k.Step() {
+		}
+	})
+	// 1 Request + 1 op + 1 probed bitmap + the probe packet, then one
+	// (closure, packet) pair per send: the MRU bank's data reply plus a
+	// miss notification from each of the other three banks.
+	const maxHitAllocs = 14
+	if hit > maxHitAllocs {
+		t.Fatalf("MRU hit allocates %.1f objects per access, want <= %d", hit, maxHitAllocs)
+	}
+
+	// Misses exercise the long path: full multicast miss, off-chip read
+	// (embedded in the op — no boxing), fill, and a full-length eviction
+	// chain reusing one chain message end to end.
+	tag := uint64(1 << 20)
+	miss := testing.AllocsPerRun(100, func() {
+		sys.Issue(sys.AM.Compose(tag, 3, 2), false, nil)
+		tag++
+		for k.Step() {
+		}
+	})
+	const maxMissAllocs = 26
+	if miss > maxMissAllocs {
+		t.Fatalf("full miss allocates %.1f objects per access, want <= %d", miss, maxMissAllocs)
+	}
+	t.Logf("allocations per access: MRU hit %.1f, full miss %.1f", hit, miss)
+}
+
+// TestCacheRunPacketPoolBalanced runs a full Fast-LRU multicast workload
+// on Design A and checks the replica freelist's leak invariant end to
+// end through the cache protocol: every pooled packet the multicast
+// probes borrowed came back exactly once, and none is live after drain.
+func TestCacheRunPacketPoolBalanced(t *testing.T) {
+	d, err := config.DesignByID("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	sys := cache.MustNew(k, d, cache.FastLRU, cache.Multicast)
+	p, err := trace.ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.NewSynthetic(p, sys.AM, 7)
+	sys.Warm(gen.WarmBlocks(d.Ways()))
+	for _, a := range trace.Take(gen, 2000) {
+		sys.Issue(a.Addr, a.Write, nil)
+	}
+	if err := sys.Drain(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	ps := sys.Net.PoolStats()
+	if ps.Gets == 0 {
+		t.Fatal("no replicas were spawned; the multicast tag-match did not run")
+	}
+	if ps.Live != 0 || ps.Gets != ps.Puts {
+		t.Fatalf("replica pool leak after full run: gets=%d puts=%d live=%d", ps.Gets, ps.Puts, ps.Live)
 	}
 }
 

@@ -21,6 +21,7 @@
 //	nucasim -design F -bench all -j 8
 //	nucasim -design A -heatmap -sample 100 -trace /tmp/flits.jsonl
 //	nucasim -verify-routing
+//	nucasim -list-policies
 package main
 
 import (
@@ -49,10 +50,16 @@ func main() {
 		tflags   = cliutil.Telemetry(flag.CommandLine)
 		verify   = flag.Bool("verify-routing", false,
 			"statically verify deadlock freedom of every catalogue design's routing, then exit")
+		listPol = flag.Bool("list-policies", false,
+			"list the registered replacement policies and request modes, then exit")
 	)
 	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
 
+	if *listPol {
+		cliutil.ListSchemes(os.Stdout)
+		return
+	}
 	if *verify {
 		os.Exit(verifyRouting(os.Stdout))
 	}

@@ -7,6 +7,12 @@
 //	paperbench -exp f9 -n 4000   # one experiment, smaller runs
 //	paperbench -exp f9 -j 8      # fan the sweep out to 8 workers
 //	paperbench -exp telemetry -heatmap -sample 200
+//	paperbench -exp f9 -policy static    # any registered policy name
+//
+// -policy and -mode steer the single-scheme experiments (f9, energy,
+// power, telemetry); names resolve through the cache policy registry, so
+// policies added with cache.RegisterPolicy work unchanged. The
+// fixed-scheme reproductions (t1-t4, f7, f8, headline) ignore them.
 //
 // Experiments: t1 t2 t3 t4 f7 f8 f9 headline energy power telemetry all
 //
@@ -40,10 +46,18 @@ func main() {
 		jobs   = cliutil.Jobs(flag.CommandLine)
 		tflags = cliutil.Telemetry(flag.CommandLine)
 	)
+	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
 	workers, err := cliutil.ResolveJobs(*jobs)
 	fatal(err)
-	cfg := core.ExpConfig{Accesses: *n, Seed: *seed, Workers: workers}
+	// The scheme flags steer the single-scheme experiments (f9, energy,
+	// power, telemetry); any name registered with cache.RegisterPolicy
+	// parses. The fixed-scheme reproductions (t1-t4, f7, f8, headline)
+	// ignore them by design. Defaults match the paper configuration.
+	cfg := core.ExpConfig{
+		Accesses: *n, Seed: *seed, Workers: workers,
+		PolicyName: policy.String(), ModeName: mode.String(),
+	}
 	traceOut := tflags.TracePath
 	tcfg := tflags.Config()
 
@@ -209,8 +223,21 @@ func fig8(cfg core.ExpConfig) {
 	sweepLine(rep)
 }
 
+// schemeLabel names the scheme a single-scheme experiment actually ran
+// under (the -policy/-mode override, or the paper default).
+func schemeLabel(cfg core.ExpConfig) string {
+	p, m := cfg.PolicyName, cfg.ModeName
+	if p == "" {
+		p = "fastLRU"
+	}
+	if m == "" {
+		m = "multicast"
+	}
+	return m + "+" + p
+}
+
 func fig9(cfg core.ExpConfig) {
-	header("Figure 9: normalized IPC by design, multicast Fast-LRU")
+	header("Figure 9: normalized IPC by design, " + schemeLabel(cfg))
 	cells, rep, err := core.Fig9(cfg)
 	fatal(err)
 	fmt.Printf("%-9s", "benchmark")
@@ -279,7 +306,7 @@ func energyExp(cfg core.ExpConfig) {
 	header("Energy comparison (extension: the paper's stated future work)")
 	cells, rep, err := core.EnergyComparison(cfg, "gcc")
 	fatal(err)
-	fmt.Println("design    nJ/access   network%   banks%   memory%     IPC   (gcc, multicast Fast-LRU)")
+	fmt.Printf("design    nJ/access   network%%   banks%%   memory%%     IPC   (gcc, %s)\n", schemeLabel(cfg))
 	for _, c := range cells {
 		r := c.Report
 		fmt.Printf("  %s       %7.2f      %5.1f    %5.1f     %5.1f   %5.3f\n",
@@ -307,7 +334,7 @@ func powerExp(cfg core.ExpConfig) {
 // probe flags (-exp telemetry alone) it defaults to heatmaps plus a
 // 200-cycle time series.
 func telemetryExp(cfg core.ExpConfig, tcfg telemetry.Config, traceOut string) {
-	header("Telemetry: spatial and temporal view, designs A / D / F on gcc")
+	header("Telemetry: spatial and temporal view, designs A / D / F on gcc, " + schemeLabel(cfg))
 	if !tcfg.Enabled() {
 		tcfg = telemetry.Config{Heatmap: true, SampleEvery: 200}
 	}

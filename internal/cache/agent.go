@@ -9,10 +9,11 @@ import (
 	"nucanet/internal/topology"
 )
 
-// agent is the protocol engine of one cache bank. It receives protocol
-// packets at its router, performs bank accesses (serialized through
-// busyUntil), mutates the bank, and emits follow-on packets when the
-// access completes.
+// agent is the policy-free protocol shell of one cache bank. It receives
+// protocol packets at its router, books bank accesses (serialized
+// through busyUntil), keeps the multicast probe stash, and hands each
+// typed message to the system's PolicyEngine, which mutates the bank and
+// emits follow-on messages through the shell's send helpers.
 type agent struct {
 	sys  *System
 	node topology.NodeID
@@ -48,7 +49,7 @@ func (a *agent) full(set int) bool {
 }
 
 // send schedules a packet injection at cycle t.
-func (a *agent) send(t int64, kind flit.Kind, dst topology.NodeID, ep flit.Endpoint, addr uint64, payload any) {
+func (a *agent) send(t int64, kind flit.Kind, dst topology.NodeID, ep flit.Endpoint, addr uint64, payload flit.Payload) {
 	a.sched.at(t, func(now int64) {
 		a.sys.Net.Send(&flit.Packet{
 			Kind: kind, Src: a.node, Dst: dst, DstEp: ep, Addr: addr, Payload: payload,
@@ -59,7 +60,7 @@ func (a *agent) send(t int64, kind flit.Kind, dst topology.NodeID, ep flit.Endpo
 // sendBank schedules a packet to the bank at position pos of this
 // agent's column, addressing it both by router (Dst) and by column
 // position (DstPos) so nodes hosting several banks demux correctly.
-func (a *agent) sendBank(t int64, kind flit.Kind, pos int, addr uint64, payload any) {
+func (a *agent) sendBank(t int64, kind flit.Kind, pos int, addr uint64, payload flit.Payload) {
 	a.sched.at(t, func(now int64) {
 		a.sys.Net.Send(&flit.Packet{
 			Kind: kind, Src: a.node, Dst: a.sys.bankNode(a.col, pos), DstEp: flit.ToBank,
@@ -86,46 +87,34 @@ func dataKind(o *op, fromHit bool) flit.Kind {
 // that can queue at a congested ejection port, so unlike the paper's
 // single downward path, arrival order is not inherently guaranteed here.
 func (a *agent) Deliver(pkt *flit.Packet, now int64) {
-	if o := opOf(pkt.Payload); o != nil && o.probed != nil && !o.probed[a.pos] {
-		switch pkt.Kind {
-		case flit.ReplaceBlock, flit.BlockToMRU, flit.MemBlock:
-			a.stash = append(a.stash, pkt)
-			return
-		}
+	if o := stashableOp(pkt.Payload); o != nil && o.probed != nil && !o.probed[a.pos] {
+		a.stash = append(a.stash, pkt)
+		return
 	}
 	a.dispatch(pkt, now)
 }
 
-func opOf(payload any) *op {
-	switch p := payload.(type) {
-	case *op:
-		return p
-	case *blockMsg:
-		return p.op
-	}
-	return nil
-}
-
+// dispatch hands a bank-bound message to the policy engine — an
+// exhaustive type switch over the bank-side message catalogue. The probe
+// case marks the bank probed (replaying stashed traffic) after the
+// engine's tag-match has run, policy-independently.
 func (a *agent) dispatch(pkt *flit.Packet, now int64) {
-	switch pkt.Kind {
-	case flit.ReadReq, flit.WriteData:
-		a.probe(pkt.Payload.(*op), now)
-	case flit.ReplaceBlock:
-		m := pkt.Payload.(*blockMsg)
-		switch {
-		case m.withReq:
-			a.combined(m, now)
-		case m.promoUp:
-			a.promoUp(m, now)
-		case m.promoDown:
-			a.promoDown(m, now)
-		default:
-			a.chain(m, now)
-		}
-	case flit.BlockToMRU:
-		a.storeMRU(pkt.Payload.(*blockMsg), now)
-	case flit.MemBlock:
-		a.fill(pkt.Payload.(*op), now)
+	switch m := pkt.Payload.(type) {
+	case *probeMsg:
+		a.sys.eng.Probe(a, m.o, now)
+		a.markProbed(m.o, now)
+	case *fillMsg:
+		a.sys.eng.Fill(a, m.o, now)
+	case *chainMsg:
+		a.sys.eng.Chain(a, m, now)
+	case *unitMsg:
+		a.sys.eng.Unit(a, m, now)
+	case *storeMsg:
+		a.sys.eng.Store(a, m, now)
+	case *promoteMsg:
+		a.sys.eng.Promote(a, m, now)
+	case *demoteMsg:
+		a.sys.eng.Demote(a, m, now)
 	default:
 		panic(fmt.Sprintf("cache: bank %d/%d got unexpected %v", a.col, a.pos, pkt))
 	}
@@ -144,7 +133,7 @@ func (a *agent) markProbed(o *op, now int64) {
 	pending := a.stash
 	a.stash = a.stash[:0]
 	for _, pkt := range pending {
-		if po := opOf(pkt.Payload); po == o {
+		if stashableOp(pkt.Payload) == o {
 			a.dispatch(pkt, now)
 		} else {
 			a.stash = append(a.stash, pkt)
@@ -152,302 +141,114 @@ func (a *agent) markProbed(o *op, now int64) {
 	}
 }
 
-// probe handles a tag-match request: the unicast first hop (always bank 0
-// for Fast-LRU; any bank for LRU/Promotion) or a multicast delivery.
-func (a *agent) probe(o *op, now int64) {
-	defer a.markProbed(o, now)
-	lat := a.bk.Latency()
-	way, hit := a.bk.Lookup(o.set, o.tag)
-	if hit {
-		a.sys.tel.BankHit(a.col, a.pos)
-		fin := a.access(now, lat.TagRepl) // tag match + data read
-		o.bankCycles += int64(lat.TagRepl)
-		o.hitPos = a.pos
-		o.req.Hit = true
-		o.req.HitBank = a.pos
-		if a.pos == 0 {
-			a.bk.Touch(o.set, way)
-			if o.req.Write {
-				a.bk.SetDirty(o.set, 0)
-			}
-			a.send(fin, dataKind(o, true), o.ctrl, flit.ToCore, o.req.Addr, o)
-			return
-		}
-		blk := a.bk.Remove(o.set, way)
-		if o.req.Write {
-			blk.Dirty = true
-		}
-		a.send(fin, dataKind(o, true), o.ctrl, flit.ToCore, o.req.Addr, o)
-		switch a.sys.Policy {
-		case LRU, FastLRU:
-			if a.sys.Policy == FastLRU && a.sys.Mode == Multicast {
-				// Two chain drains must complete: the hit block landing
-				// at the MRU bank, and the push chain terminating here.
-				o.chainNeeded = 2
-			}
-			a.sendBank(fin, flit.BlockToMRU, 0,
-				o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true})
-		case Promotion:
-			a.sendBank(fin, flit.ReplaceBlock, a.pos-1,
-				o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true, promoUp: true})
-		}
-		return
-	}
+// bookHit records a tag-match hit at this bank: telemetry, the combined
+// tag+data access, critical-path accounting, and the request's
+// CPU-visible hit fields. Returns the access completion time.
+func (a *agent) bookHit(o *op, now int64, dur int) int64 {
+	a.sys.tel.BankHit(a.col, a.pos)
+	fin := a.access(now, dur)
+	o.bankCycles += int64(dur)
+	o.hitPos = a.pos
+	o.req.Hit = true
+	o.req.HitBank = a.pos
+	return fin
+}
 
-	// Miss at this bank.
-	if a.sys.Mode == Multicast {
-		fin := a.access(now, lat.TagOnly)
-		if a.pos == a.last && o.hitPos < 0 {
-			// The farthest bank's probe closes the miss decision; when a
-			// closer bank already hit, this probe is off the critical path.
-			o.bankCycles += int64(lat.TagOnly)
-		}
-		a.send(fin, flit.MissNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-		if a.sys.Policy == FastLRU && a.pos == 0 {
-			a.startFastChain(o, fin)
-		}
-		return
+// touchInPlace completes a hit whose block stays in this bank: promote
+// it to the bank-local MRU way, answer the core, and release the column
+// immediately (no replacement chain runs).
+func (a *agent) touchInPlace(o *op, way int, fin int64) {
+	a.bk.Touch(o.set, way)
+	if o.req.Write {
+		a.bk.SetDirty(o.set, 0)
 	}
+	o.chainNeeded = 0
+	a.sendData(o, fin, true)
+}
 
-	// Unicast.
-	if a.sys.Policy == FastLRU {
-		// Only the MRU bank sees a bare request under unicast Fast-LRU;
-		// the combined request+block unit travels on from here.
-		fin := a.access(now, lat.TagRepl)
-		o.bankCycles += int64(lat.TagRepl)
-		a.forwardFastUnit(o, fin)
-		return
+// sendData answers the core: block data for reads, an acknowledgment
+// for writes.
+func (a *agent) sendData(o *op, fin int64, fromHit bool) {
+	a.send(fin, dataKind(o, fromHit), o.ctrl, flit.ToCore, o.req.Addr, &o.data)
+}
+
+// sendDone reports one replacement chain drained.
+func (a *agent) sendDone(o *op, fin int64) {
+	a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, &o.done)
+}
+
+// writeBack sends a dirty victim leaving the cache to memory.
+func (a *agent) writeBack(o *op, fin int64) {
+	a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, nil)
+}
+
+// missNotify books a multicast miss probe (tag-only access), reports it
+// to the controller, and returns the access completion time. Only the
+// farthest bank's probe is on the miss decision's critical path — and
+// only when no closer bank has already hit.
+func (a *agent) missNotify(o *op, now int64, lat bank.Latency) int64 {
+	fin := a.access(now, lat.TagOnly)
+	if a.pos == a.last && o.hitPos < 0 {
+		o.bankCycles += int64(lat.TagOnly)
 	}
+	a.send(fin, flit.MissNotify, o.ctrl, flit.ToCore, o.req.Addr, &o.miss)
+	return fin
+}
+
+// missForward books a unicast miss probe (tag-only access) and forwards
+// the search to the next bank, or asks memory at the last one.
+func (a *agent) missForward(o *op, now int64, lat bank.Latency) {
 	fin := a.access(now, lat.TagOnly)
 	o.bankCycles += int64(lat.TagOnly)
 	if a.pos < a.last {
-		kind := flit.ReadReq
-		if o.req.Write {
-			kind = flit.WriteData
-		}
-		a.sendBank(fin, kind, a.pos+1, o.req.Addr, o)
+		a.forwardProbe(o, fin)
 		return
 	}
 	a.requestMemory(o, fin)
 }
 
-// startFastChain initiates the Fast-LRU replacement chain at the MRU bank
-// after a multicast miss there.
-func (a *agent) startFastChain(o *op, fin int64) {
-	if !a.full(o.set) {
-		// Nothing to push; the chain is trivially complete and the
-		// frame for the eventual fill already exists.
-		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-		return
+// forwardProbe sends the tag-match request on to the next-farther bank.
+func (a *agent) forwardProbe(o *op, fin int64) {
+	kind := flit.ReadReq
+	if o.req.Write {
+		kind = flit.WriteData
 	}
-	blk, _ := a.bk.EvictLRU(o.set)
-	if a.last == 0 {
-		// Single-bank column: the victim leaves the cache.
-		if blk.Dirty {
-			a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
-		}
-		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-		return
-	}
-	a.sendBank(fin, flit.ReplaceBlock, 1,
-		o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true})
+	a.sendBank(fin, kind, a.pos+1, o.req.Addr, &o.probe)
 }
 
-// forwardFastUnit evicts (if full) and forwards the unicast Fast-LRU
-// request+block unit, or terminates at the LRU bank with a memory access.
-func (a *agent) forwardFastUnit(o *op, fin int64) {
-	out := &blockMsg{op: o, withReq: true}
-	if a.full(o.set) {
-		blk, _ := a.bk.EvictLRU(o.set)
-		out.blk = blk
-		out.hasBlock = true
-	}
-	if a.pos < a.last {
-		a.sendBank(fin, flit.ReplaceBlock, a.pos+1, o.req.Addr, out)
-		return
-	}
-	// LRU bank: replacement is complete; the victim leaves the cache.
-	if out.hasBlock && out.blk.Dirty {
-		a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
-	}
-	a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-	a.requestMemory(o, fin)
+// insert installs a block as this bank's set MRU, emitting the
+// conservation probe the protocol invariant checker reconciles.
+func (a *agent) insert(set int, blk bank.Block) {
+	a.bk.Insert(set, blk)
+	a.sys.tel.BlockInserted(a.col, a.pos, set, blk.Tag)
 }
 
-// combined handles the unicast Fast-LRU request+block unit at banks > 0:
-// one access tag-matches, stores the incoming block, and evicts onward.
-func (a *agent) combined(m *blockMsg, now int64) {
-	o := m.op
-	lat := a.bk.Latency()
-	fin := a.access(now, lat.TagRepl)
-	o.bankCycles += int64(lat.TagRepl)
-
-	way, hit := a.bk.Lookup(o.set, o.tag)
-	if hit {
-		a.sys.tel.BankHit(a.col, a.pos)
-		blk := a.bk.Remove(o.set, way)
-		if o.req.Write {
-			blk.Dirty = true
-		}
-		if m.hasBlock {
-			a.bk.Insert(o.set, m.blk)
-		}
-		o.hitPos = a.pos
-		o.req.Hit = true
-		o.req.HitBank = a.pos
-		a.send(fin, dataKind(o, true), o.ctrl, flit.ToCore, o.req.Addr, o)
-		a.sendBank(fin, flit.BlockToMRU, 0,
-			o.req.Addr, &blockMsg{op: o, blk: blk, hasBlock: true})
-		return
-	}
-	out := &blockMsg{op: o, withReq: true}
-	if a.full(o.set) {
-		blk, _ := a.bk.EvictLRU(o.set)
-		out.blk = blk
-		out.hasBlock = true
-	}
-	if m.hasBlock {
-		a.bk.Insert(o.set, m.blk)
-	}
-	if a.pos < a.last {
-		a.sendBank(fin, flit.ReplaceBlock, a.pos+1, o.req.Addr, out)
-		return
-	}
-	if out.hasBlock && out.blk.Dirty {
-		a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
-	}
-	a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-	a.requestMemory(o, fin)
+// evictLRU removes and returns this bank's set LRU (the set must be
+// non-empty — engines evict only from full sets).
+func (a *agent) evictLRU(set int) bank.Block {
+	blk, _ := a.bk.EvictLRU(set)
+	a.sys.tel.BlockEvicted(a.col, a.pos, set, blk.Tag)
+	return blk
 }
 
-// chain handles a plain replacement-chain block: the multicast Fast-LRU
-// push, the classic-LRU shift after a hit, and the miss-fill shift.
-func (a *agent) chain(m *blockMsg, now int64) {
-	o := m.op
-	lat := a.bk.Latency()
-	fin := a.access(now, lat.TagRepl)
-
-	if o.hitPos == a.pos {
-		// The hit bank's hole terminates the chain.
-		a.bk.Insert(o.set, m.blk)
-		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-		return
-	}
-	if !a.full(o.set) {
-		// A non-full bank absorbs the chain (cold sets only).
-		a.bk.Insert(o.set, m.blk)
-		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-		return
-	}
-	victim, _ := a.bk.EvictLRU(o.set)
-	a.bk.Insert(o.set, m.blk)
-	if a.pos == a.last {
-		if victim.Dirty {
-			a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
-		}
-		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-		return
-	}
-	a.sendBank(fin, flit.ReplaceBlock, a.pos+1,
-		o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true})
-}
-
-// promoUp handles the Promotion hit block arriving one bank closer.
-func (a *agent) promoUp(m *blockMsg, now int64) {
-	o := m.op
-	lat := a.bk.Latency()
-	fin := a.access(now, lat.TagRepl)
-	if !a.full(o.set) {
-		a.bk.Insert(o.set, m.blk)
-		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-		return
-	}
-	victim, _ := a.bk.EvictLRU(o.set)
-	a.bk.Insert(o.set, m.blk)
-	a.sendBank(fin, flit.ReplaceBlock, a.pos+1,
-		o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true, promoDown: true})
-}
-
-// promoDown stores the displaced block back into the hit bank's hole.
-func (a *agent) promoDown(m *blockMsg, now int64) {
-	o := m.op
-	lat := a.bk.Latency()
-	fin := a.access(now, lat.TagRepl)
-	a.bk.Insert(o.set, m.blk)
-	a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-}
-
-// storeMRU stores the hit block arriving at the MRU bank.
-func (a *agent) storeMRU(m *blockMsg, now int64) {
-	o := m.op
-	lat := a.bk.Latency()
-	fin := a.access(now, lat.TagRepl)
-	switch a.sys.Policy {
-	case FastLRU:
-		// The frame was freed by the probe's eviction (or was free).
-		a.bk.Insert(o.set, m.blk)
-		a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-	case LRU:
-		if !a.full(o.set) {
-			a.bk.Insert(o.set, m.blk)
-			a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-			return
-		}
-		victim, _ := a.bk.EvictLRU(o.set)
-		a.bk.Insert(o.set, m.blk)
-		if a.last == 0 {
-			if victim.Dirty {
-				a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
-			}
-			a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-			return
-		}
-		a.sendBank(fin, flit.ReplaceBlock, 1,
-			o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true})
-	default:
-		panic("cache: BlockToMRU under promotion")
-	}
-}
-
-// fill stores the block returning from memory into the MRU bank and
-// forwards the data to the core.
-func (a *agent) fill(o *op, now int64) {
-	lat := a.bk.Latency()
-	fin := a.access(now, lat.TagRepl)
-	o.bankCycles += int64(lat.TagRepl)
-	blk := bank.Block{Tag: o.tag, Dirty: o.req.Write}
-	switch a.sys.Policy {
-	case FastLRU:
-		// The probe's eviction chain already made room everywhere.
-		a.bk.Insert(o.set, blk)
-	case LRU, Promotion:
-		if a.full(o.set) {
-			victim, _ := a.bk.EvictLRU(o.set)
-			a.bk.Insert(o.set, blk)
-			if a.last == 0 {
-				if victim.Dirty {
-					a.send(fin, flit.WriteBack, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, o)
-				}
-				a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-			} else {
-				a.sendBank(fin, flit.ReplaceBlock, 1,
-					o.req.Addr, &blockMsg{op: o, blk: victim, hasBlock: true})
-			}
-		} else {
-			a.bk.Insert(o.set, blk)
-			a.send(fin, flit.CompleteNotify, o.ctrl, flit.ToCore, o.req.Addr, o)
-		}
-	}
-	a.send(fin, dataKind(o, false), o.ctrl, flit.ToCore, o.req.Addr, o)
+// removeWay extracts a resident way (the hit block leaving for another
+// bank).
+func (a *agent) removeWay(set, way int) bank.Block {
+	blk := a.bk.Remove(set, way)
+	a.sys.tel.BlockEvicted(a.col, a.pos, set, blk.Tag)
+	return blk
 }
 
 // requestMemory asks the off-chip memory for the block, directing the
-// reply to the column's MRU bank.
+// reply to the column's MRU bank. The read request and its cookie (the
+// fill message memory echoes back) are embedded in the op, so the miss
+// path allocates nothing.
 func (a *agent) requestMemory(o *op, fin int64) {
-	a.send(fin, flit.MemReadReq, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, mem.ReadReq{
+	o.memReq = mem.ReadReq{
 		ReplyTo:  a.sys.bankNode(o.col, 0),
 		ReplyEp:  flit.ToBank,
 		ReplyPos: 0,
-		Cookie:   o,
-	})
+		Cookie:   &o.fill,
+	}
+	a.send(fin, flit.MemReadReq, a.sys.Topo.Mem, flit.ToMem, o.req.Addr, &o.memReq)
 }

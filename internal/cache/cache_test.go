@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"nucanet/internal/bank"
@@ -591,5 +592,40 @@ func TestParsePolicyAndMode(t *testing.T) {
 	}
 	if _, err := ParseMode("bogus"); err == nil {
 		t.Fatal("expected error")
+	}
+
+	// Every registered policy — built-ins and registry additions alike —
+	// round-trips through String and ParsePolicy, so CLI flags, JSON
+	// reports, and error messages always agree on the registered name.
+	names := PolicyNames()
+	if len(names) < 4 {
+		t.Fatalf("expected at least 4 registered policies, got %v", names)
+	}
+	for _, name := range names {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Valid() {
+			t.Fatalf("policy %q resolves to invalid id %d", name, p)
+		}
+		if p.String() != name {
+			t.Fatalf("policy %q prints as %q", name, p.String())
+		}
+		rt, err := ParsePolicy(p.String())
+		if err != nil || rt != p {
+			t.Fatalf("policy %q does not round-trip: got %v, %v", name, rt, err)
+		}
+		// Parsing is case- and hyphen-insensitive ("Fast-LRU" == "fastlru").
+		loose, err := ParsePolicy(strings.ToUpper(name))
+		if err != nil || loose != p {
+			t.Fatalf("policy %q not parsed case-insensitively: %v, %v", name, loose, err)
+		}
+	}
+	for _, m := range []Mode{Unicast, Multicast} {
+		rt, err := ParseMode(m.String())
+		if err != nil || rt != m {
+			t.Fatalf("mode %v does not round-trip: got %v, %v", m, rt, err)
+		}
 	}
 }

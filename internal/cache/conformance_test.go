@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConformance runs the full micro-scenario matrix: every registered
+// policy (including ones added purely through RegisterPolicy) against
+// the golden model with the runtime protocol invariants enforced.
+func TestConformance(t *testing.T) {
+	scs := ConformanceScenarios()
+	if len(scs) < 100 {
+		t.Fatalf("conformance matrix has %d scenarios, want >= 100", len(scs))
+	}
+	perPolicy := make(map[Policy]int)
+	for _, sc := range scs {
+		perPolicy[sc.Policy]++
+	}
+	for _, name := range PolicyNames() {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perPolicy[p] == 0 {
+			t.Errorf("registered policy %s has no conformance scenarios", name)
+		}
+	}
+
+	n, violations := RunConformance()
+	if n != len(scs) {
+		t.Fatalf("ran %d scenarios, enumerated %d", n, len(scs))
+	}
+	if len(violations) > 0 {
+		max := len(violations)
+		if max > 20 {
+			max = 20
+		}
+		t.Fatalf("%d invariant violations across %d scenarios; first %d:\n%s",
+			len(violations), n, max, strings.Join(violations[:max], "\n"))
+	}
+	t.Logf("%d scenarios, 0 violations", n)
+}
+
+// TestConformanceCatchesViolations pins that the harness is alive: a
+// scenario scripted against a deliberately wrong expectation must
+// produce violations (guarding against a checker that silently passes
+// everything).
+func TestConformanceCatchesViolations(t *testing.T) {
+	// An access to a warm tag is a hit; claiming it misses must trip the
+	// golden comparison. Build the scenario against golden state that
+	// differs from the sim's warm state by warming the golden only.
+	sc := Scenario{
+		Name:   "tamper",
+		Policy: LRU, Mode: Multicast,
+		Warm:     [][]uint64{{100, 101, 102, 103}},
+		Accesses: []ScriptedAccess{{Tag: 100}},
+	}
+	if v := RunScenario(sc); len(v) != 0 {
+		t.Fatalf("control scenario should pass, got %v", v)
+	}
+	// Now corrupt: access a tag the golden was never warmed with by
+	// bypassing the shared warm table — simulate by accessing tag 103
+	// after an eviction the golden did not see. Simplest reliable
+	// corruption: run the scenario with a checker-visible double insert.
+	ck := newInvariantChecker()
+	ck.BlockInserted(0, 0, 0, 42)
+	ck.BlockInserted(0, 0, 0, 42)
+	if len(ck.violations) == 0 {
+		t.Fatal("double insert not flagged")
+	}
+	ck2 := newInvariantChecker()
+	ck2.BlockEvicted(0, 0, 0, 7)
+	if len(ck2.violations) == 0 {
+		t.Fatal("evicting a non-resident block not flagged")
+	}
+	ck3 := newInvariantChecker()
+	ck3.OpData(0, 5, false, -1)
+	if len(ck3.violations) == 0 {
+		t.Fatal("data for an unissued op not flagged")
+	}
+	ck3.OpIssued(0, 6, 0, 0, false)
+	ck3.OpFinished(1, 6)
+	found := false
+	for _, v := range ck3.violations {
+		if strings.Contains(v, "without delivering data") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("finish-before-data not flagged: %v", ck3.violations)
+	}
+}

@@ -12,6 +12,9 @@ import (
 // serializes operations per bank-set column, launches the tag-match
 // (unicast probe or multicast), invokes memory after a full multicast
 // miss, and tracks completion (data at core + replacement chain drained).
+// The controller is policy-free: which banks move which blocks is the
+// PolicyEngine's business; the controller only counts the completions the
+// engine's protocol announces.
 type Controller struct {
 	sys   *System
 	sched scheduler
@@ -85,18 +88,21 @@ func (c *Controller) dispatch(col int, now int64) {
 		}
 		cs.q = cs.q[1:]
 		c.QueueWait += now - r.Issued
-		o := &op{
-			req: r, col: col,
-			set:         set,
-			tag:         c.sys.AM.TagOf(r.Addr),
-			ctrl:        c.Node,
-			hitPos:      -1,
-			chainNeeded: 1,
-		}
+		o := newOp()
+		o.req = r
+		o.col = col
+		o.set = set
+		o.tag = c.sys.AM.TagOf(r.Addr)
+		o.ctrl = c.Node
+		o.hitPos = -1
+		o.chainNeeded = 1
+		c.sys.opSeq++
+		o.id = c.sys.opSeq
 		if c.sys.Mode == Multicast {
 			o.probed = make([]bool, c.sys.lastPos()+1)
 		}
 		cs.active = append(cs.active, o)
+		c.sys.tel.OpIssued(now, o.id, o.col, o.set, r.Write)
 
 		kind := flit.ReadReq
 		if r.Write {
@@ -104,7 +110,7 @@ func (c *Controller) dispatch(col int, now int64) {
 		}
 		pkt := &flit.Packet{
 			Kind: kind, Src: c.Node, DstEp: flit.ToBank,
-			Addr: r.Addr, Payload: o,
+			Addr: r.Addr, Payload: &o.probe,
 		}
 		if c.sys.Mode == Multicast {
 			// The probe addresses every bank of the column: all routers on
@@ -121,37 +127,42 @@ func (c *Controller) dispatch(col int, now int64) {
 	}
 }
 
-// Deliver consumes core-bound protocol packets.
+// Deliver consumes core-bound protocol packets — an exhaustive type
+// switch over the controller-side message catalogue. Messages from a
+// completed multicast operation (e.g. a miss notification from a bank
+// probed after the hit landed) are stale and dropped.
 func (c *Controller) Deliver(pkt *flit.Packet, now int64) {
-	o, ok := pkt.Payload.(*op)
-	if !ok {
-		panic(fmt.Sprintf("cache: controller got %v without op payload", pkt))
-	}
-	if o.finished {
-		// Stale message from a completed multicast operation (e.g. a
-		// miss notification from a bank probed after the hit landed).
-		return
-	}
-	switch pkt.Kind {
-	case flit.HitData, flit.DataToCore, flit.WriteDone:
-		c.dataArrived(o, now)
-	case flit.CompleteNotify:
-		o.chainRecv++
-		c.checkComplete(o, now)
-	case flit.MissNotify:
+	switch m := pkt.Payload.(type) {
+	case *dataMsg:
+		if m.o.finished {
+			return
+		}
+		c.dataArrived(m.o, now)
+	case *doneMsg:
+		if m.o.finished {
+			return
+		}
+		m.o.chainRecv++
+		c.checkComplete(m.o, now)
+	case *missMsg:
+		o := m.o
+		if o.finished {
+			return
+		}
 		o.missCount++
 		if o.missCount == c.sys.lastPos()+1 && o.hitPos < 0 {
 			// Every bank reported a miss: invoke the off-chip memory
 			// (multicast only; unicast asks from the LRU bank).
+			o.memReq = mem.ReadReq{
+				ReplyTo:  c.sys.bankNode(o.col, 0),
+				ReplyEp:  flit.ToBank,
+				ReplyPos: 0,
+				Cookie:   &o.fill,
+			}
 			c.sys.Net.Send(&flit.Packet{
 				Kind: flit.MemReadReq, Src: c.Node,
 				Dst: c.sys.Topo.Mem, DstEp: flit.ToMem, Addr: o.req.Addr,
-				Payload: mem.ReadReq{
-					ReplyTo:  c.sys.bankNode(o.col, 0),
-					ReplyEp:  flit.ToBank,
-					ReplyPos: 0,
-					Cookie:   o,
-				},
+				Payload: &o.memReq,
 			}, now)
 		}
 	default:
@@ -178,10 +189,7 @@ func (c *Controller) dataArrived(o *op, now int64) {
 	} else {
 		c.sys.Lat.RecordMiss(total, r.Breakdown)
 	}
-	if o.hitPos == 0 {
-		// A hit in the MRU bank needs no block movement.
-		o.chainNeeded = 0
-	}
+	c.sys.tel.OpData(now, o.id, r.Hit, r.HitBank)
 	if r.Done != nil {
 		r.Done(r, now)
 	}
@@ -195,6 +203,7 @@ func (c *Controller) checkComplete(o *op, now int64) {
 		return
 	}
 	o.finished = true
+	c.sys.tel.OpFinished(now, o.id)
 	c.sys.Lat.AddOccupancy(now - o.req.Issued)
 	cs := &c.cols[o.col]
 	for i, a := range cs.active {

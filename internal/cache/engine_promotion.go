@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"nucanet/internal/bank"
+	"nucanet/internal/flit"
+)
+
+// promotionEngine implements D-NUCA's generational promotion: a hit
+// block swaps with the LRU block of the next-closer bank; a miss fills
+// the MRU bank and recursively pushes every block one bank farther.
+type promotionEngine struct {
+	baseEngine
+}
+
+func (e *promotionEngine) Probe(a *agent, o *op, now int64) {
+	lat := a.bk.Latency()
+	way, hit := a.bk.Lookup(o.set, o.tag)
+	if hit {
+		fin := a.bookHit(o, now, lat.TagRepl)
+		if a.pos == 0 {
+			a.touchInPlace(o, way, fin)
+			return
+		}
+		blk := a.removeWay(o.set, way)
+		if o.req.Write {
+			blk.Dirty = true
+		}
+		a.sendData(o, fin, true)
+		o.promote.blk = blk
+		a.sendBank(fin, flit.ReplaceBlock, a.pos-1, o.req.Addr, &o.promote)
+		return
+	}
+	if a.sys.Mode == Multicast {
+		a.missNotify(o, now, lat)
+		return
+	}
+	a.missForward(o, now, lat)
+}
+
+// Promote handles the hit block arriving one bank closer.
+func (e *promotionEngine) Promote(a *agent, m *promoteMsg, now int64) {
+	o := m.o
+	lat := a.bk.Latency()
+	fin := a.access(now, lat.TagRepl)
+	if !a.full(o.set) {
+		a.insert(o.set, m.blk)
+		a.sendDone(o, fin)
+		return
+	}
+	victim := a.evictLRU(o.set)
+	a.insert(o.set, m.blk)
+	o.demote.blk = victim
+	a.sendBank(fin, flit.ReplaceBlock, a.pos+1, o.req.Addr, &o.demote)
+}
+
+// Demote stores the displaced block back into the hit bank's hole.
+func (e *promotionEngine) Demote(a *agent, m *demoteMsg, now int64) {
+	o := m.o
+	lat := a.bk.Latency()
+	fin := a.access(now, lat.TagRepl)
+	a.insert(o.set, m.blk)
+	a.sendDone(o, fin)
+}
+
+// Chain handles the miss-fill shift (promotion swaps never chain beyond
+// one hop, but fills push recursively like LRU).
+func (e *promotionEngine) Chain(a *agent, m *chainMsg, now int64) {
+	chainStep(a, m, now)
+}
+
+// Fill stores the block returning from memory into the MRU bank.
+func (e *promotionEngine) Fill(a *agent, o *op, now int64) {
+	lat := a.bk.Latency()
+	fin := a.access(now, lat.TagRepl)
+	o.bankCycles += int64(lat.TagRepl)
+	fillEvictChain(a, o, bank.Block{Tag: o.tag, Dirty: o.req.Write}, fin)
+	a.sendData(o, fin, false)
+}
+
+func (e *promotionEngine) GoldenAccess(g *Golden, st [][]uint64, hb, hw int, tag uint64) (bool, int, uint64, bool) {
+	if hb == 0 {
+		g.touch(st, 0, hw)
+		return true, 0, 0, false
+	}
+	if hb > 0 {
+		// Swap with the next-closer bank: hit block becomes the MRU
+		// of bank hb-1; that bank's LRU moves to bank hb. If the
+		// closer bank has room (cold sets), the block just promotes.
+		hitTag := g.remove(st, hb, hw)
+		if len(st[hb-1]) < g.specs[hb-1].Ways {
+			g.insertMRU(st, hb-1, hitTag)
+			return true, hb, 0, false
+		}
+		victim := g.evictLRU(st, hb-1)
+		g.insertMRU(st, hb-1, hitTag)
+		g.insertMRU(st, hb, victim)
+		return true, hb, 0, false
+	}
+	evicted, ok := goldenMissFill(g, st, tag)
+	return false, -1, evicted, ok
+}

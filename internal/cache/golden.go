@@ -7,15 +7,21 @@ import (
 // Golden is the functional reference model of a bank-set column hierarchy:
 // it applies the replacement policies to plain slices with no timing or
 // network, and must agree exactly with the protocol simulation on every
-// hit/miss decision and on final contents. Property tests enforce this.
+// hit/miss decision and on final contents. Property tests and the
+// conformance harness enforce this.
 //
 // The model is hierarchical: each bank keeps its own MRU-to-LRU order; a
 // block leaving a bank is that bank's LRU, a block entering becomes its
 // MRU. With 1-way banks this degenerates to exact set-wide LRU (for the
 // LRU and Fast-LRU policies) — and Fast-LRU is functionally identical to
 // LRU by construction, only its timing differs.
+//
+// The policy-specific semantics live in the same PolicyEngine that
+// drives the timing simulation (GoldenAccess), so a registered policy
+// automatically brings its own reference model.
 type Golden struct {
 	policy Policy
+	eng    PolicyEngine
 	specs  []bank.Spec
 	cols   int
 	sets   int
@@ -23,9 +29,10 @@ type Golden struct {
 	state [][][]uint64
 }
 
-// NewGolden builds an empty reference model for a column layout.
+// NewGolden builds an empty reference model for a column layout. It
+// panics on an unregistered policy (test-facing construction).
 func NewGolden(policy Policy, specs []bank.Spec, cols, sets int) *Golden {
-	g := &Golden{policy: policy, specs: specs, cols: cols, sets: sets}
+	g := &Golden{policy: policy, eng: policy.engine(), specs: specs, cols: cols, sets: sets}
 	g.state = make([][][]uint64, cols*sets)
 	for i := range g.state {
 		g.state[i] = make([][]uint64, len(specs))
@@ -57,10 +64,10 @@ func (g *Golden) Warm(col, set int, tags []uint64) {
 
 // Access applies one reference to the model and returns whether it hit and
 // at which bank position (way -1 on miss). Evicted is the victim tag that
-// left the cache entirely (valid only when evictedOK).
+// left the cache entirely (valid only when evictedOK). The tag match is
+// policy-independent; the state transition is the engine's.
 func (g *Golden) Access(col, set int, tag uint64) (hit bool, bankPos int, evicted uint64, evictedOK bool) {
 	st := g.state[col*g.sets+set]
-	last := len(st) - 1
 
 	// Tag match across the column.
 	hb, hw := -1, -1
@@ -75,83 +82,7 @@ func (g *Golden) Access(col, set int, tag uint64) (hit bool, bankPos int, evicte
 			break
 		}
 	}
-
-	switch g.policy {
-	case LRU, FastLRU:
-		if hb == 0 {
-			g.touch(st, 0, hw)
-			return true, 0, 0, false
-		}
-		if hb > 0 {
-			// Hit block to MRU bank; banks 0..hb-1 shift one farther;
-			// the shifted-out block of hb-1 fills the hole at hb. A
-			// non-full bank absorbs the chain early (cold sets only).
-			hitTag := g.remove(st, hb, hw)
-			carry := hitTag
-			for b := 0; b <= hb; b++ {
-				if b == hb || len(st[b]) < g.specs[b].Ways {
-					g.insertMRU(st, b, carry)
-					break
-				}
-				victim := g.evictLRU(st, b)
-				g.insertMRU(st, b, carry)
-				carry = victim
-			}
-			return true, hb, 0, false
-		}
-		// Miss: new block to MRU; everything shifts one farther; the
-		// victim of the last bank leaves.
-		carry := tag
-		for b := 0; b <= last; b++ {
-			var victim uint64
-			full := len(st[b]) >= g.specs[b].Ways
-			if full {
-				victim = g.evictLRU(st, b)
-			}
-			g.insertMRU(st, b, carry)
-			if !full {
-				return false, -1, 0, false
-			}
-			carry = victim
-		}
-		return false, -1, carry, true
-
-	case Promotion:
-		if hb == 0 {
-			g.touch(st, 0, hw)
-			return true, 0, 0, false
-		}
-		if hb > 0 {
-			// Swap with the next-closer bank: hit block becomes the MRU
-			// of bank hb-1; that bank's LRU moves to bank hb. If the
-			// closer bank has room (cold sets), the block just promotes.
-			hitTag := g.remove(st, hb, hw)
-			if len(st[hb-1]) < g.specs[hb-1].Ways {
-				g.insertMRU(st, hb-1, hitTag)
-				return true, hb, 0, false
-			}
-			victim := g.evictLRU(st, hb-1)
-			g.insertMRU(st, hb-1, hitTag)
-			g.insertMRU(st, hb, victim)
-			return true, hb, 0, false
-		}
-		// Miss: fill the MRU bank and push recursively.
-		carry := tag
-		for b := 0; b <= last; b++ {
-			var victim uint64
-			full := len(st[b]) >= g.specs[b].Ways
-			if full {
-				victim = g.evictLRU(st, b)
-			}
-			g.insertMRU(st, b, carry)
-			if !full {
-				return false, -1, 0, false
-			}
-			carry = victim
-		}
-		return false, -1, carry, true
-	}
-	panic("cache: unknown policy")
+	return g.eng.GoldenAccess(g, st, hb, hw, tag)
 }
 
 // Contents returns the per-bank tags of a set, MRU first within each bank.

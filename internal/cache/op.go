@@ -1,7 +1,7 @@
 package cache
 
 import (
-	"nucanet/internal/bank"
+	"nucanet/internal/mem"
 	"nucanet/internal/stats"
 )
 
@@ -30,9 +30,10 @@ type Request struct {
 func (r *Request) Latency() int64 { return r.DataAt - r.Issued }
 
 // op is the shared protocol state of one in-flight column operation; every
-// packet of the operation carries a pointer to it.
+// packet of the operation carries a typed message pointing back to it.
 type op struct {
 	req *Request
+	id  uint64 // system-wide operation serial (telemetry correlation)
 	col int
 	set int
 	tag uint64
@@ -55,7 +56,7 @@ type op struct {
 	// replacement traffic has fully drained: usually one, but a
 	// multicast Fast-LRU hit beyond the MRU bank produces two (the hit
 	// block landing at the MRU bank, and the push chain terminating at
-	// the hit bank's hole).
+	// the hit bank's hole), and an MRU-bank hit needs none.
 	missCount   int
 	dataDone    bool
 	chainNeeded int
@@ -68,27 +69,41 @@ type op struct {
 	// congested ejection port) and later replacement traffic, so agents
 	// stash chain/store messages until their probe has run.
 	probed []bool
+
+	// One instance of every protocol message, pre-wired to this op by
+	// newOp. Chain-style messages are mutated in place and resent hop by
+	// hop (replacement chains are strictly sequential), so the whole
+	// operation costs a single allocation. memReq is the embedded
+	// off-chip read request; its cookie is the fill message, which
+	// memory echoes back as the MemBlock payload.
+	probe   probeMsg
+	data    dataMsg
+	miss    missMsg
+	done    doneMsg
+	fill    fillMsg
+	chain   chainMsg
+	unit    unitMsg
+	store   storeMsg
+	promote promoteMsg
+	demote  demoteMsg
+	memReq  mem.ReadReq
+}
+
+// newOp builds the per-access protocol state with every embedded message
+// pointing back at it.
+func newOp() *op {
+	o := &op{}
+	o.probe.o = o
+	o.data.o = o
+	o.miss.o = o
+	o.done.o = o
+	o.fill.o = o
+	o.chain.o = o
+	o.unit.o = o
+	o.store.o = o
+	o.promote.o = o
+	o.demote.o = o
+	return o
 }
 
 func (o *op) chainDone() bool { return o.chainRecv >= o.chainNeeded }
-
-// AddMemCycles lets the memory model attribute its service time (wire +
-// access + port stalls) to this operation; called through the cookie
-// interface in package mem.
-func (o *op) AddMemCycles(n int64) { o.memCycles += n }
-
-// blockMsg is the payload of every block-carrying protocol packet.
-type blockMsg struct {
-	op  *op
-	blk bank.Block
-	// hasBlock is false when a unicast Fast-LRU request is forwarded
-	// from a non-full bank that had nothing to evict.
-	hasBlock bool
-	// withReq marks the unicast Fast-LRU combined unit: the data request
-	// traveling together with the evicted block.
-	withReq bool
-	// promoUp marks a Promotion hit block moving one bank closer;
-	// promoDown marks the displaced block returning to the hit bank.
-	promoUp   bool
-	promoDown bool
-}

@@ -9,11 +9,19 @@
 // packets; bank agents are stateless between messages, so late or stale
 // packets (e.g. miss notifications racing a completed multicast hit) are
 // harmless.
+//
+// Replacement policies are pluggable: each is a PolicyEngine registered
+// under a name with RegisterPolicy, mirroring topology.Register and
+// routing.RegisterAlgorithm. The agent and controller shells are
+// policy-free; adding a policy means adding one engine file (see
+// engine_static.go for the smallest example).
 package cache
 
 import "fmt"
 
-// Policy selects the replacement scheme.
+// Policy identifies a registered replacement scheme. Ids are assigned in
+// registration order; the built-in policies below register first, so
+// their constants are stable.
 type Policy uint8
 
 const (
@@ -31,14 +39,10 @@ const (
 	FastLRU
 )
 
+// String returns the policy's registered display name.
 func (p Policy) String() string {
-	switch p {
-	case Promotion:
-		return "promotion"
-	case LRU:
-		return "LRU"
-	case FastLRU:
-		return "fastLRU"
+	if int(p) < len(policyReg) {
+		return policyReg[p].name
 	}
 	return fmt.Sprintf("Policy(%d)", uint8(p))
 }
@@ -61,8 +65,8 @@ func (m Mode) String() string {
 	return "multicast"
 }
 
-// Valid reports whether p is one of the defined policies.
-func (p Policy) Valid() bool { return p <= FastLRU }
+// Valid reports whether p is a registered policy.
+func (p Policy) Valid() bool { return int(p) < len(policyReg) }
 
 // Valid reports whether m is one of the defined modes.
 func (m Mode) Valid() bool { return m <= Multicast }
@@ -89,17 +93,11 @@ func (m *Mode) Set(s string) error {
 	return nil
 }
 
-// ParsePolicy reads a policy name ("promotion", "lru", "fastlru").
+// ParsePolicy resolves a registered policy name ("promotion", "lru",
+// "fastlru", "static", ...); it is PolicyByName under the parse-style
+// name the flag helpers expect.
 func ParsePolicy(s string) (Policy, error) {
-	switch s {
-	case "promotion":
-		return Promotion, nil
-	case "lru", "LRU":
-		return LRU, nil
-	case "fastlru", "fastLRU", "fast-lru":
-		return FastLRU, nil
-	}
-	return 0, fmt.Errorf("cache: unknown policy %q", s)
+	return PolicyByName(s)
 }
 
 // ParseMode reads a mode name ("unicast", "multicast").

@@ -33,12 +33,20 @@ type System struct {
 
 	agents [][]*agent // [column][position]
 	tel    *telemetry.Collector
+	eng    PolicyEngine // the registered engine driving Policy
+	opSeq  uint64       // operation serial counter (telemetry correlation)
 }
 
 // New builds a system over a fresh kernel-registered network. It errors
 // when the design's topology cannot be built or its routing fails the
 // static deadlock-freedom check.
 func New(k *sim.Kernel, d config.Design, policy Policy, mode Mode) (*System, error) {
+	if !policy.Valid() {
+		return nil, fmt.Errorf("cache: unregistered policy id %d (registered: %v)", policy, PolicyNames())
+	}
+	if !mode.Valid() {
+		return nil, fmt.Errorf("cache: unknown mode id %d", mode)
+	}
 	topo, err := d.Build()
 	if err != nil {
 		return nil, err
@@ -48,6 +56,7 @@ func New(k *sim.Kernel, d config.Design, policy Policy, mode Mode) (*System, err
 		Topo: topo,
 		AM:   d.AddrMap(),
 		Lat:  stats.NewLatency(len(d.Banks)),
+		eng:  policy.engine(),
 	}
 	alg, err := routing.For(topo)
 	if err != nil {

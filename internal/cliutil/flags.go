@@ -2,6 +2,9 @@ package cliutil
 
 import (
 	"flag"
+	"fmt"
+	"io"
+	"strings"
 
 	"nucanet/internal/cache"
 	"nucanet/internal/telemetry"
@@ -16,12 +19,27 @@ func Design(fs *flag.FlagSet) *string {
 // Scheme registers the typed -policy and -mode flags. cache.Policy and
 // cache.Mode implement flag.Value, so parse errors surface through the
 // flag package with the registered names — no per-binary ParsePolicy /
-// ParseMode plumbing.
+// ParseMode plumbing. The help text enumerates the registry, so a policy
+// added with cache.RegisterPolicy shows up (and parses) on every binary
+// automatically.
 func Scheme(fs *flag.FlagSet) (*cache.Policy, *cache.Mode) {
 	p, m := cache.FastLRU, cache.Multicast
-	fs.Var(&p, "policy", "replacement policy: promotion, lru, fastlru")
+	fs.Var(&p, "policy", "replacement policy: "+strings.Join(cache.PolicyNames(), ", "))
 	fs.Var(&m, "mode", "request mode: unicast, multicast")
 	return &p, &m
+}
+
+// ListSchemes prints the registered replacement policies and the request
+// modes — the -list-policies output shared by the binaries.
+func ListSchemes(w io.Writer) {
+	fmt.Fprintln(w, "registered replacement policies:")
+	for _, name := range cache.PolicyNames() {
+		fmt.Fprintf(w, "  %s\n", name)
+	}
+	fmt.Fprintln(w, "request modes:")
+	for _, m := range []cache.Mode{cache.Unicast, cache.Multicast} {
+		fmt.Fprintf(w, "  %s\n", m)
+	}
 }
 
 // TelemetryFlags holds the destinations of the standard telemetry flag

@@ -44,6 +44,11 @@ type coreData struct {
 	port *Port
 }
 
+// The CMP forwarding envelopes are protocol messages (flit.Payload).
+func (*coreReq) ProtocolMessage() {}
+
+func (*coreData) ProtocolMessage() {}
+
 // System is a shared networked L2 with N cores.
 type System struct {
 	K     *sim.Kernel

@@ -41,10 +41,37 @@ type ExpConfig struct {
 	// value of Workers produces byte-identical experiment output (pinned
 	// by the determinism regression test).
 	Workers int
+	// PolicyName and ModeName override the replacement scheme of the
+	// single-scheme experiments (Fig9, energy, power gating, telemetry);
+	// empty keeps each experiment's paper configuration (multicast
+	// Fast-LRU). Names resolve through the cache registry, so a policy
+	// added with cache.RegisterPolicy works here — and on the CLIs — with
+	// no further plumbing. Fixed-scheme reproductions (Fig7's unicast-LRU
+	// baseline, Fig8's five-scheme comparison, the headline claims)
+	// ignore the override by design.
+	PolicyName string
+	ModeName   string
 }
 
 // DefaultExpConfig keeps the full figure sweeps to a few minutes.
 func DefaultExpConfig() ExpConfig { return ExpConfig{Accesses: 8000, Seed: 42} }
+
+// scheme resolves the configured override against an experiment's paper
+// defaults, erroring on names no registered policy or mode answers to.
+func (cfg ExpConfig) scheme(p cache.Policy, m cache.Mode) (cache.Policy, cache.Mode, error) {
+	var err error
+	if cfg.PolicyName != "" {
+		if p, err = cache.PolicyByName(cfg.PolicyName); err != nil {
+			return p, m, err
+		}
+	}
+	if cfg.ModeName != "" {
+		if m, err = cache.ParseMode(cfg.ModeName); err != nil {
+			return p, m, err
+		}
+	}
+	return p, m, nil
+}
 
 // run builds the Options for one (design, scheme, benchmark) cell.
 func (cfg ExpConfig) run(designID string, p cache.Policy, m cache.Mode, bench string) Options {
@@ -144,14 +171,19 @@ type Fig9Cell struct {
 	P50, P99 int64
 }
 
-// Fig9 regenerates Figure 9: Designs A-F with multicast Fast-LRU.
+// Fig9 regenerates Figure 9: Designs A-F with multicast Fast-LRU (or the
+// config's scheme override).
 func Fig9(cfg ExpConfig) ([]Fig9Cell, SweepReport, error) {
+	p, m, err := cfg.scheme(cache.FastLRU, cache.Multicast)
+	if err != nil {
+		return nil, SweepReport{}, err
+	}
 	designs := config.Designs()
 	var opts []Options
 	var cells []Fig9Cell
 	for _, name := range trace.Names() {
 		for _, d := range designs {
-			opts = append(opts, cfg.run(d.ID, cache.FastLRU, cache.Multicast, name))
+			opts = append(opts, cfg.run(d.ID, p, m, name))
 			cells = append(cells, Fig9Cell{Benchmark: name, DesignID: d.ID})
 		}
 	}
@@ -258,12 +290,16 @@ type EnergyCell struct {
 }
 
 // EnergyComparison estimates the energy of all six designs under
-// multicast Fast-LRU for one benchmark.
+// multicast Fast-LRU (or the config's scheme override) for one benchmark.
 func EnergyComparison(cfg ExpConfig, bench string) ([]EnergyCell, SweepReport, error) {
+	p, m, err := cfg.scheme(cache.FastLRU, cache.Multicast)
+	if err != nil {
+		return nil, SweepReport{}, err
+	}
 	designs := config.Designs()
 	opts := make([]Options, len(designs))
 	for i, d := range designs {
-		opts[i] = cfg.run(d.ID, cache.FastLRU, cache.Multicast, bench)
+		opts[i] = cfg.run(d.ID, p, m, bench)
 	}
 	rs, rep, err := cfg.sweep(opts)
 	if err != nil {
@@ -297,6 +333,10 @@ func PowerGatingSweep(cfg ExpConfig, bench string) ([]PowerCell, SweepReport, er
 	if err != nil {
 		return nil, SweepReport{}, err
 	}
+	p, m, err := cfg.scheme(cache.FastLRU, cache.Multicast)
+	if err != nil {
+		return nil, SweepReport{}, err
+	}
 	waysOn := []int{16, 12, 8, 4, 2}
 	opts := make([]Options, len(waysOn))
 	out := make([]PowerCell, len(waysOn))
@@ -308,7 +348,7 @@ func PowerGatingSweep(cfg ExpConfig, bench string) ([]PowerCell, SweepReport, er
 		d.Params.MemX = d.Params.CoreX // keep the memory column valid for short meshes
 		gated := d
 		opts[i] = Options{
-			Design: &gated, Policy: cache.FastLRU, Mode: cache.Multicast,
+			Design: &gated, Policy: p, Mode: m,
 			Benchmark: bench, Accesses: cfg.Accesses, Seed: cfg.Seed,
 		}
 		out[i] = PowerCell{WaysOn: ways, CapacityKB: d.CapacityKB()}
@@ -390,10 +430,14 @@ type TelemetryRun struct {
 // the side-by-side spatial view of how the three topologies spread the
 // same workload's traffic.
 func TelemetryCompare(cfg ExpConfig, bench string, tcfg telemetry.Config) ([]TelemetryRun, SweepReport, error) {
+	p, m, err := cfg.scheme(cache.FastLRU, cache.Multicast)
+	if err != nil {
+		return nil, SweepReport{}, err
+	}
 	ids := []string{"A", "D", "F"}
 	opts := make([]Options, len(ids))
 	for i, id := range ids {
-		opts[i] = cfg.run(id, cache.FastLRU, cache.Multicast, bench)
+		opts[i] = cfg.run(id, p, m, bench)
 		opts[i].Telemetry = tcfg
 	}
 	rs, rep, err := cfg.sweep(opts)

@@ -82,6 +82,20 @@ func (k Kind) Flits() int {
 // CarriesBlock reports whether the packet payload includes cache-block data.
 func (k Kind) CarriesBlock() bool { return k.Flits() == BlockFlits }
 
+// Payload is the closed set of protocol message types a Packet may
+// carry. The network treats payloads as opaque; the marker method keeps
+// the set explicit and typed — every payload producer (the cache
+// protocol's typed messages, the memory controller's read requests, the
+// CMP layer's forwarding envelopes) declares itself by implementing it,
+// and every consumer dispatches with an exhaustive type switch instead
+// of blind any-assertions. Payload implementations are pointer-shaped,
+// so storing one in a Packet never boxes a value onto the heap.
+type Payload interface {
+	// ProtocolMessage brands the type as a member of the protocol
+	// message catalogue (see the cache package's message definitions).
+	ProtocolMessage()
+}
+
 // Endpoint selects which agent attached to the destination router receives
 // the packet.
 type Endpoint uint8
@@ -125,7 +139,7 @@ type Packet struct {
 	// Addr is the block address the message concerns.
 	Addr uint64
 	// Payload carries protocol state opaque to the network.
-	Payload any
+	Payload Payload
 
 	// Injected and Delivered are set by the network for latency
 	// accounting (injection cycle, final-flit delivery cycle).

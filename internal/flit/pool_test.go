@@ -2,10 +2,15 @@ package flit
 
 import "testing"
 
+// testPayload is a stand-in protocol message for pool tests.
+type testPayload struct{ tag string }
+
+func (*testPayload) ProtocolMessage() {}
+
 func TestPoolGetPutRecycles(t *testing.T) {
 	p := &PacketPool{}
 	a := p.Get()
-	a.Kind, a.Addr, a.Payload = WriteData, 0x40, "x"
+	a.Kind, a.Addr, a.Payload = WriteData, 0x40, &testPayload{tag: "x"}
 	p.Put(a)
 	b := p.Get()
 	if b != a {
@@ -92,7 +97,7 @@ func TestPoolLeakInvariant(t *testing.T) {
 func TestPoolPutDropsPayload(t *testing.T) {
 	p := &PacketPool{}
 	a := p.Get()
-	a.Payload = make([]byte, 64)
+	a.Payload = &testPayload{tag: "held"}
 	p.Put(a)
 	if a.Payload != nil {
 		t.Fatal("Put kept the payload reference alive")

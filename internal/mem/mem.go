@@ -43,15 +43,21 @@ func (c Config) ReadLatency() int {
 }
 
 // ReadReq is the payload of a MemReadReq packet: where the MemBlock reply
-// should go and an opaque protocol cookie passed through unchanged.
-// ReplyPos is the bank position at ReplyTo for concentrated topologies
-// (several banks per router); single-bank nodes leave it 0.
+// should go and an opaque protocol cookie passed through unchanged as the
+// reply's payload. ReplyPos is the bank position at ReplyTo for
+// concentrated topologies (several banks per router); single-bank nodes
+// leave it 0. Protocol layers embed the ReadReq in their per-operation
+// state and send a pointer, keeping the miss path allocation-free.
 type ReadReq struct {
 	ReplyTo  topology.NodeID
 	ReplyEp  flit.Endpoint
 	ReplyPos int16
-	Cookie   any
+	Cookie   flit.Payload
 }
+
+// ProtocolMessage brands *ReadReq as a member of the protocol message
+// catalogue (see flit.Payload).
+func (*ReadReq) ProtocolMessage() {}
 
 // Stats counts memory activity.
 type Stats struct {
@@ -100,7 +106,7 @@ func (m *Memory) Stats() Stats { return m.stats }
 func (m *Memory) Deliver(pkt *flit.Packet, now int64) {
 	switch pkt.Kind {
 	case flit.MemReadReq:
-		req, ok := pkt.Payload.(ReadReq)
+		req, ok := pkt.Payload.(*ReadReq)
 		if !ok {
 			panic(fmt.Sprintf("mem: MemReadReq without ReadReq payload: %v", pkt))
 		}

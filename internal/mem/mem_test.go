@@ -16,6 +16,11 @@ type sink struct {
 	at  []int64
 }
 
+// cookie is a test protocol payload passed through the memory.
+type cookie struct{ id string }
+
+func (*cookie) ProtocolMessage() {}
+
 func (s *sink) Deliver(p *flit.Packet, now int64) {
 	s.got = append(s.got, p)
 	s.at = append(s.at, now)
@@ -51,7 +56,7 @@ func TestReadRoundTrip(t *testing.T) {
 	mru := net.Topo.NodeAt(2, 0)
 	req := &flit.Packet{
 		Kind: flit.MemReadReq, Src: net.Topo.Core, Dst: m.Node(), DstEp: flit.ToMem,
-		Addr: 0x1000, Payload: ReadReq{ReplyTo: mru, ReplyEp: flit.ToBank, Cookie: "c1"},
+		Addr: 0x1000, Payload: &ReadReq{ReplyTo: mru, ReplyEp: flit.ToBank, Cookie: &cookie{"c1"}},
 	}
 	net.Send(req, 0)
 	k.Run(10000)
@@ -59,7 +64,7 @@ func TestReadRoundTrip(t *testing.T) {
 		t.Fatalf("replies = %d, want 1", len(s.got))
 	}
 	rep := s.got[0]
-	if rep.Kind != flit.MemBlock || rep.Addr != 0x1000 || rep.Payload != "c1" {
+	if c, ok := rep.Payload.(*cookie); rep.Kind != flit.MemBlock || rep.Addr != 0x1000 || !ok || c.id != "c1" {
 		t.Fatalf("bad reply %v payload=%v", rep, rep.Payload)
 	}
 	// Request: (1,0)->(2,3) = 4 hops + eject = 5. Reply ready at
@@ -79,7 +84,7 @@ func TestWireDelayAddsBothWays(t *testing.T) {
 	mru := net.Topo.NodeAt(2, 0)
 	req := &flit.Packet{
 		Kind: flit.MemReadReq, Src: net.Topo.Core, Dst: m.Node(), DstEp: flit.ToMem,
-		Addr: 0x40, Payload: ReadReq{ReplyTo: mru, ReplyEp: flit.ToBank},
+		Addr: 0x40, Payload: &ReadReq{ReplyTo: mru, ReplyEp: flit.ToBank},
 	}
 	net.Send(req, 0)
 	k.Run(10000)
@@ -94,7 +99,7 @@ func TestPipelinedPortSerializes(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		req := &flit.Packet{
 			Kind: flit.MemReadReq, Src: net.Topo.Core, Dst: m.Node(), DstEp: flit.ToMem,
-			Addr: uint64(i) * 64, Payload: ReadReq{ReplyTo: mru, ReplyEp: flit.ToBank},
+			Addr: uint64(i) * 64, Payload: &ReadReq{ReplyTo: mru, ReplyEp: flit.ToBank},
 		}
 		net.Send(req, 0)
 	}
@@ -140,7 +145,7 @@ func TestHaloWireDelayPickedUpFromTopology(t *testing.T) {
 	mru := topo.Column(0)[0]
 	req := &flit.Packet{
 		Kind: flit.MemReadReq, Src: topo.Hub(), Dst: m.Node(), DstEp: flit.ToMem,
-		Addr: 0, Payload: ReadReq{ReplyTo: mru, ReplyEp: flit.ToBank},
+		Addr: 0, Payload: &ReadReq{ReplyTo: mru, ReplyEp: flit.ToBank},
 	}
 	net.Send(req, 0)
 	k.Run(10000)

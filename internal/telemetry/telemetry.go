@@ -49,12 +49,30 @@ type Config struct {
 // Enabled reports whether any probe is on.
 func (c Config) Enabled() bool { return c.Trace || c.Heatmap || c.SampleEvery > 0 }
 
+// ProtocolProbe observes cache-protocol lifecycle events: operation
+// issue, the CPU-visible data arrival, final completion (replacement
+// chain drained), and every block entering or leaving a bank set. The
+// conformance harness implements it to check runtime protocol
+// invariants (exactly-once completion, replacement-chain block
+// conservation); id correlates the events of one operation.
+type ProtocolProbe interface {
+	OpIssued(now int64, id uint64, col, set int, write bool)
+	OpData(now int64, id uint64, hit bool, hitBank int)
+	OpFinished(now int64, id uint64)
+	BlockInserted(col, pos, set int, tag uint64)
+	BlockEvicted(col, pos, set int, tag uint64)
+}
+
 // Collector receives probe emissions for one simulation run. A nil
 // Collector is the disabled probe layer; all methods accept it.
 type Collector struct {
 	Trace  *Trace
 	Heat   *Heatmap
 	Series *Series
+	// Protocol, when set, receives the cache-protocol lifecycle events.
+	// It is not part of Config: callers wanting protocol invariant
+	// checking construct a Collector directly.
+	Protocol ProtocolProbe
 }
 
 // New builds a collector for cfg over topo, or nil when cfg disables
@@ -169,6 +187,49 @@ func (c *Collector) BankHit(col, pos int) {
 		return
 	}
 	c.Heat.bankHit(col, pos)
+}
+
+// OpIssued records a column operation entering the protocol.
+func (c *Collector) OpIssued(now int64, id uint64, col, set int, write bool) {
+	if c == nil || c.Protocol == nil {
+		return
+	}
+	c.Protocol.OpIssued(now, id, col, set, write)
+}
+
+// OpData records the operation's CPU-visible completion (data or write
+// acknowledgment at the core).
+func (c *Collector) OpData(now int64, id uint64, hit bool, hitBank int) {
+	if c == nil || c.Protocol == nil {
+		return
+	}
+	c.Protocol.OpData(now, id, hit, hitBank)
+}
+
+// OpFinished records the operation fully complete: data delivered and
+// every replacement chain drained.
+func (c *Collector) OpFinished(now int64, id uint64) {
+	if c == nil || c.Protocol == nil {
+		return
+	}
+	c.Protocol.OpFinished(now, id)
+}
+
+// BlockInserted records a block entering the set of bank (col, pos).
+func (c *Collector) BlockInserted(col, pos, set int, tag uint64) {
+	if c == nil || c.Protocol == nil {
+		return
+	}
+	c.Protocol.BlockInserted(col, pos, set, tag)
+}
+
+// BlockEvicted records a block leaving the set of bank (col, pos) — an
+// LRU eviction or a hit block departing for another bank.
+func (c *Collector) BlockEvicted(col, pos, set int, tag uint64) {
+	if c == nil || c.Protocol == nil {
+		return
+	}
+	c.Protocol.BlockEvicted(col, pos, set, tag)
 }
 
 // Sample appends one time-series point (called from the sim.Observer).
