@@ -1,15 +1,16 @@
 # Tier-1 verification is `make test`; `make check` is the CI gate: gofmt,
 # vet, the race detector over the short-mode subset (which includes the
 # engine's determinism regressions) plus full race passes over the
-# graph/routing and cache-protocol layers, the protocol conformance
-# matrix, a one-iteration smoke pass over every benchmark target, and a
-# telemetry smoke run with every probe on.
+# graph/routing, cache-protocol, and serving layers, the protocol
+# conformance matrix, a one-iteration smoke pass over every benchmark
+# target, a telemetry smoke run with every probe on, and an end-to-end
+# nucad/nucaload serving smoke that requires cache hits.
 
 GO ?= go
 BENCH_COUNT ?= 3
 BENCH_LABEL ?= after
 
-.PHONY: build test check fmt vet race racegraph racecache conformance bench benchsmoke smoke verify clean
+.PHONY: build test check fmt vet race racegraph racecache serverace conformance bench benchsmoke smoke serve-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +45,15 @@ racegraph:
 racecache:
 	$(GO) test -race ./internal/cache/
 
+# Full (non-short) race pass over the serving layer (and the canonical
+# hashing it keys on): the scheduler, the result cache, and the
+# coalescing map are the only cross-goroutine state the daemon has, and
+# the determinism/fairness/shutdown tests exercise all of it under
+# concurrent HTTP clients.
+serverace:
+	$(GO) test -race ./internal/serve/
+	$(GO) test -race -run TestCanonicalKey ./internal/core/
+
 # Protocol conformance: the full micro-scenario matrix (every registered
 # policy × mode × hit position × occupancy × set fullness) against the
 # golden model with the runtime protocol invariants enforced, plus the
@@ -67,6 +77,11 @@ bench:
 		| tee /tmp/nucanet-bench-$(BENCH_LABEL).txt
 	$(GO) run ./cmd/benchjson -o BENCH_kernel.json -label $(BENCH_LABEL) \
 		< /tmp/nucanet-bench-$(BENCH_LABEL).txt
+	$(GO) test -run=NONE -benchmem -count=$(BENCH_COUNT) \
+		-bench='BenchmarkServe' ./internal/serve/ \
+		| tee /tmp/nucanet-bench-serve-$(BENCH_LABEL).txt
+	$(GO) run ./cmd/benchjson -o BENCH_serve.json -label $(BENCH_LABEL) \
+		< /tmp/nucanet-bench-serve-$(BENCH_LABEL).txt
 
 # Tiny end-to-end run with every telemetry probe on: trace, heatmap,
 # time series, at j=2 — exercises the full probe plumbing through the
@@ -77,11 +92,31 @@ smoke:
 	@rm -f /tmp/nucasim-smoke.jsonl
 	@echo "telemetry smoke: ok"
 
+# End-to-end serving smoke: build the daemon and the load driver, boot
+# the daemon on an ephemeral port, fire a short mixed load at it, and
+# require at least one content-addressed cache hit. Exercises the whole
+# stack — flags, listener, scheduler, cache, graceful drain — so the
+# service wiring can never rot silently.
+serve-smoke:
+	@rm -f /tmp/nucad-smoke-addr
+	$(GO) build -o /tmp/nucad-smoke ./cmd/nucad
+	$(GO) build -o /tmp/nucaload-smoke ./cmd/nucaload
+	@/tmp/nucad-smoke -addr 127.0.0.1:0 -addr-file /tmp/nucad-smoke-addr & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s /tmp/nucad-smoke-addr ] && break; sleep 0.1; done; \
+	[ -s /tmp/nucad-smoke-addr ] || { echo "nucad did not come up"; kill $$pid; exit 1; }; \
+	/tmp/nucaload-smoke -addr "http://$$(cat /tmp/nucad-smoke-addr)" \
+		-n 60 -c 4 -clients 3 -unique 6 -accesses 300 -require-hits; rc=$$?; \
+	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -f /tmp/nucad-smoke /tmp/nucaload-smoke /tmp/nucad-smoke-addr; \
+	exit $$rc
+	@echo "serve smoke: ok"
+
 # Static deadlock-freedom verification of the whole design catalogue.
 verify:
 	$(GO) run ./cmd/nucasim -verify-routing
 
-check: fmt vet race racegraph racecache conformance benchsmoke smoke verify
+check: fmt vet race racegraph racecache serverace conformance benchsmoke smoke serve-smoke verify
 
 clean:
 	$(GO) clean ./...

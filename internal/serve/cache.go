@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"nucanet/internal/core"
+)
+
+// Cache is the content-addressed result cache: a bounded LRU keyed by
+// core.CanonicalKey. Determinism makes this sound — the key covers the
+// fully resolved configuration, and equal configurations produce
+// byte-identical results — so an entry can be served forever and a hit
+// is indistinguishable from a fresh run, bytes included. Entries hold
+// both the marshaled response body (served verbatim, preserving
+// byte-identity between cold and warm responses) and the core.Result
+// (merged into the server's running aggregate on every hit, so
+// /v1/stats reflects served traffic rather than just executed runs).
+type Cache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recently used
+	byID map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+	res  core.Result
+}
+
+// NewCache returns a cache bounded to capacity entries (<= 0 selects
+// 1024).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Cache{cap: capacity, ll: list.New(), byID: map[string]*list.Element{}}
+}
+
+// Get returns the cached body and result for a key, refreshing its LRU
+// position. Every call counts as a hit or a miss.
+func (c *Cache) Get(key string) ([]byte, core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[key]
+	if !ok {
+		c.misses++
+		return nil, core.Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.res, true
+}
+
+// Put stores a completed run, evicting the least recently used entry
+// when full. Re-putting an existing key refreshes it in place.
+func (c *Cache) Put(key string, body []byte, res core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.body, e.res = body, res
+		return
+	}
+	c.byID[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, res: res})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.byID, tail.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// CacheStats is the counter snapshot surfaced by /v1/stats.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Size: c.ll.Len(), Capacity: c.cap,
+	}
+}

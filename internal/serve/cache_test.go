@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"nucanet/internal/core"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	put := func(k string) { c.Put(k, []byte(k), core.Result{}) }
+	get := func(k string) bool { _, _, ok := c.Get(k); return ok }
+
+	put("a")
+	put("b")
+	if !get("a") { // refresh a; b is now LRU
+		t.Fatal("a missing")
+	}
+	put("c") // evicts b
+	if get("b") {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if !get("a") || !get("c") {
+		t.Fatal("a and c should survive")
+	}
+
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, size 2/2", st)
+	}
+	// get(a) hit, get(b) miss, get(a) hit, get(c) hit.
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestCacheBodyRoundTrip(t *testing.T) {
+	c := NewCache(0) // default capacity
+	res := core.Result{Cycles: 123}
+	c.Put("k", []byte("body"), res)
+	body, got, ok := c.Get("k")
+	if !ok || string(body) != "body" || got.Cycles != 123 {
+		t.Fatalf("Get = %q, %+v, %v", body, got, ok)
+	}
+	// Re-put refreshes in place without growing.
+	c.Put("k", []byte("body2"), res)
+	if body, _, _ := c.Get("k"); string(body) != "body2" {
+		t.Fatalf("re-put did not replace body: %q", body)
+	}
+	if st := c.Stats(); st.Size != 1 {
+		t.Fatalf("size = %d, want 1", st.Size)
+	}
+}
+
+func TestCacheBoundedUnderChurn(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), nil, core.Result{})
+	}
+	st := c.Stats()
+	if st.Size != 8 || st.Evictions != 92 {
+		t.Fatalf("size/evictions = %d/%d, want 8/92", st.Size, st.Evictions)
+	}
+	// Only the 8 most recent keys remain.
+	for i := 92; i < 100; i++ {
+		if _, _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("recent key k%d evicted", i)
+		}
+	}
+}

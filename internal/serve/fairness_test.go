@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"nucanet/internal/config"
+	"nucanet/internal/core"
+)
+
+// gatedRun is an injectable fake simulation: every call records its
+// seed in start order, and calls block until release is closed (the
+// first call additionally signals started). The returned Result carries
+// enough state to marshal.
+type gatedRun struct {
+	mu      sync.Mutex
+	order   []uint64
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGatedRun() *gatedRun {
+	return &gatedRun{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gatedRun) run(o core.Options) (core.Result, error) {
+	g.mu.Lock()
+	g.order = append(g.order, o.Seed)
+	g.mu.Unlock()
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	res, err := fakeResult(o)
+	return res, err
+}
+
+// fakeResult builds a marshalable Result without simulating.
+func fakeResult(o core.Options) (core.Result, error) {
+	d, err := config.Resolve(o.DesignID, o.Design)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Result{Options: o, Design: *d, IPC: 0.25, Cycles: int64(o.Accesses)}, nil
+}
+
+// runBody builds a /v1/run request for one seed.
+func runBody(seed int) string {
+	return fmt.Sprintf(`{"design":"F","accesses":100,"seed":%d}`, seed)
+}
+
+// postAs POSTs a run body under a client identity.
+func postAs(t *testing.T, ts *httptest.Server, client, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client", client)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("POST as %s: %v", client, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// serverPending reads the scheduler backlog through the public stats
+// endpoint.
+func serverPending(t *testing.T, ts *httptest.Server) int {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Pending
+}
+
+// TestServeFairnessAndBackpressure is the serving-layer table test of
+// the fairness contract, against a gated fake simulation on a single
+// worker so scheduling order is deterministic:
+//
+//   - a heavy client saturating its queue gets 429 with Retry-After;
+//   - a light client is still accepted at that moment (per-client
+//     bound, not global) and its run starts after at most one more
+//     heavy run (round-robin, no starvation);
+//   - every accepted request completes with 200.
+func TestServeFairnessAndBackpressure(t *testing.T) {
+	g := newGatedRun()
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, Run: g.run})
+
+	type reply struct {
+		status int
+		body   []byte
+	}
+	replies := make(chan reply, 8)
+	post := func(client string, seed int) {
+		resp, b := postAs(t, ts, client, runBody(seed))
+		replies <- reply{resp.StatusCode, b}
+	}
+
+	// Seed 1 occupies the worker. Seeds 2, 3 then fill heavy's queue
+	// (depth 2), submitted one at a time so enqueue order is pinned.
+	go post("heavy", 1)
+	<-g.started
+	go post("heavy", 2)
+	waitFor(t, "first heavy job to queue", func() bool { return serverPending(t, ts) == 1 })
+	go post("heavy", 3)
+	waitFor(t, "heavy backlog to queue", func() bool { return serverPending(t, ts) == 2 })
+
+	// Heavy is at its bound: the next distinct request is rejected with
+	// 429 and a Retry-After hint.
+	resp, body := postAs(t, ts, "heavy", runBody(4))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-bound heavy request: status %d, body %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var e struct {
+		Error struct {
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
+		t.Fatalf("429 body is not a structured error: %s", body)
+	}
+
+	// The light client is under its own bound: accepted.
+	go post("light", 9)
+	waitFor(t, "light request to queue", func() bool { return serverPending(t, ts) == 3 })
+
+	close(g.release)
+	for i := 0; i < 4; i++ {
+		r := <-replies
+		if r.status != http.StatusOK {
+			t.Fatalf("accepted request got status %d: %s", r.status, r.body)
+		}
+	}
+
+	// Round-robin pinned: after the in-flight run (seed 1), the worker
+	// alternates heavy/light — the light run (seed 9) starts after one
+	// heavy run, not after the whole heavy backlog.
+	g.mu.Lock()
+	order := append([]uint64(nil), g.order...)
+	g.mu.Unlock()
+	want := []uint64{1, 2, 9, 3}
+	if len(order) != len(want) {
+		t.Fatalf("run order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("run order %v, want %v (light client starved)", order, want)
+		}
+	}
+
+	// The rejection shows up in /v1/stats.
+	respS, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respS.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(respS.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != 1 || st.Served != 4 {
+		t.Fatalf("stats rejected/served = %d/%d, want 1/4", st.Rejected, st.Served)
+	}
+}
+
+// TestServeGracefulShutdownDrains pins that Close waits for accepted
+// runs: an in-flight request completes with its full 200 response, and
+// requests arriving after Close get 503.
+func TestServeGracefulShutdownDrains(t *testing.T) {
+	g := newGatedRun()
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Run: g.run})
+
+	type reply struct {
+		status int
+		body   []byte
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		resp, b := postAs(t, ts, "c", runBody(1))
+		replies <- reply{resp.StatusCode, b}
+	}()
+	<-g.started
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned with a run in flight")
+	default:
+	}
+
+	// Wait until the scheduler has observably entered draining (healthz
+	// flips to 503) before probing — probing /v1/run earlier could race
+	// Close and enqueue a blocked run, deadlocking the test.
+	waitFor(t, "healthz to report draining", func() bool {
+		resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	resp, body := postAs(t, ts, "d", runBody(2))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, body %s", resp.StatusCode, body)
+	}
+
+	close(g.release)
+	<-closed
+	r := <-replies
+	if r.status != http.StatusOK {
+		t.Fatalf("drained request lost its response: status %d, body %s", r.status, r.body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(r.body, &rr); err != nil {
+		t.Fatalf("drained response body corrupt: %v: %s", err, r.body)
+	}
+}

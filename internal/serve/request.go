@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/config"
+	"nucanet/internal/core"
+	"nucanet/internal/stats"
+	"nucanet/internal/telemetry"
+	"nucanet/internal/trace"
+)
+
+// RunRequest is the POST /v1/run body. Every field is optional; the
+// zero request runs the baseline configuration (core.DefaultOptions).
+type RunRequest struct {
+	Design    string            `json:"design,omitempty"`
+	Policy    string            `json:"policy,omitempty"`
+	Mode      string            `json:"mode,omitempty"`
+	Benchmark string            `json:"benchmark,omitempty"`
+	Accesses  int               `json:"accesses,omitempty"`
+	Seed      *uint64           `json:"seed,omitempty"`
+	Telemetry *TelemetryRequest `json:"telemetry,omitempty"`
+}
+
+// TelemetryRequest selects the probes whose artifacts are embedded in
+// the response. The flit-level event trace is deliberately not exposed
+// over HTTP (unbounded body growth); use cmd/nucasim -trace for that.
+type TelemetryRequest struct {
+	Heatmap     bool `json:"heatmap,omitempty"`
+	SampleEvery int  `json:"sample_every,omitempty"`
+}
+
+// knownDesignIDs lists the catalogue ids for error messages.
+func knownDesignIDs() []string {
+	var ids []string
+	for _, d := range append(config.Designs(), config.ExtraDesigns()...) {
+		ids = append(ids, d.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// options validates the request field by field and builds the
+// core.Options it denotes. Every rejection is a field-scoped 400 whose
+// message is composed from registry knowledge (never from internal
+// error strings), satisfying the no-leak contract of errors.go.
+func (r RunRequest) options(maxAccesses int) (core.Options, *apiError) {
+	o := core.DefaultOptions()
+	if r.Design != "" {
+		if _, err := config.DesignByID(r.Design); err != nil {
+			return o, badField("design", "unknown design %q; known designs: %s",
+				r.Design, strings.Join(knownDesignIDs(), ", "))
+		}
+		o.DesignID = r.Design
+	}
+	if r.Policy != "" {
+		p, err := cache.ParsePolicy(r.Policy)
+		if err != nil {
+			return o, badField("policy", "unknown policy %q; known policies: %s",
+				r.Policy, strings.Join(cache.PolicyNames(), ", "))
+		}
+		o.Policy = p
+	}
+	if r.Mode != "" {
+		m, err := cache.ParseMode(r.Mode)
+		if err != nil {
+			return o, badField("mode", "unknown mode %q; known modes: unicast, multicast", r.Mode)
+		}
+		o.Mode = m
+	}
+	if r.Benchmark != "" {
+		if _, err := trace.ProfileByName(r.Benchmark); err != nil {
+			return o, badField("benchmark", "unknown benchmark %q; known benchmarks: %s",
+				r.Benchmark, strings.Join(trace.Names(), ", "))
+		}
+		o.Benchmark = r.Benchmark
+	}
+	if r.Accesses != 0 {
+		if r.Accesses < 0 {
+			return o, badField("accesses", "accesses must be positive, got %d", r.Accesses)
+		}
+		if r.Accesses > maxAccesses {
+			return o, badField("accesses", "accesses must be at most %d, got %d", maxAccesses, r.Accesses)
+		}
+		o.Accesses = r.Accesses
+	}
+	if r.Seed != nil {
+		o.Seed = *r.Seed
+	}
+	if r.Telemetry != nil {
+		if r.Telemetry.SampleEvery < 0 {
+			return o, badField("telemetry.sample_every", "sample_every must be >= 0, got %d", r.Telemetry.SampleEvery)
+		}
+		o.Telemetry = telemetry.Config{
+			Heatmap:     r.Telemetry.Heatmap,
+			SampleEvery: r.Telemetry.SampleEvery,
+		}
+	}
+	// Defense in depth: the checks above should have covered everything
+	// Validate checks; a residual failure is reported without the
+	// internal error text.
+	if err := o.Validate(); err != nil {
+		return o, badField("", "invalid run configuration")
+	}
+	return o, nil
+}
+
+// RunResponse is the POST /v1/run body on success: the request's
+// resolved identity (including its content address) plus the paper's
+// headline measurements. Marshaling is deterministic — plain structs,
+// no maps — so equal configurations always serve byte-identical bodies,
+// cold or cached (pinned by TestServeDeterministicBodies).
+type RunResponse struct {
+	ConfigHash string `json:"config_hash"`
+	Design     string `json:"design"`
+	Topology   string `json:"topology"`
+	Policy     string `json:"policy"`
+	Mode       string `json:"mode"`
+	Benchmark  string `json:"benchmark"`
+	Accesses   int    `json:"accesses"`
+	Seed       uint64 `json:"seed"`
+
+	IPC          float64 `json:"ipc"`
+	PerfectIPC   float64 `json:"perfect_ipc"`
+	Instructions int64   `json:"instructions"`
+	Cycles       int64   `json:"cycles"`
+
+	AvgLatency     float64 `json:"avg_latency"`
+	AvgHitLatency  float64 `json:"avg_hit_latency"`
+	AvgMissLatency float64 `json:"avg_miss_latency"`
+	HitRate        float64 `json:"hit_rate"`
+	P50            int64   `json:"p50"`
+	P90            int64   `json:"p90"`
+	P99            int64   `json:"p99"`
+
+	BankShare    float64 `json:"bank_share"`
+	NetworkShare float64 `json:"network_share"`
+	MemShare     float64 `json:"mem_share"`
+
+	FlitsInjected    uint64 `json:"flits_injected"`
+	PacketsDelivered uint64 `json:"packets_delivered"`
+	MemReads         uint64 `json:"mem_reads"`
+	MemWriteBacks    uint64 `json:"mem_writebacks"`
+
+	EnergyPJ          float64 `json:"energy_pj"`
+	EnergyPerAccessNJ float64 `json:"energy_per_access_nj"`
+
+	Telemetry *TelemetryResponse `json:"telemetry,omitempty"`
+}
+
+// TelemetryResponse embeds the probe artifacts a request asked for.
+type TelemetryResponse struct {
+	// BankAccesses and BankHits are [column][position] counters from the
+	// heatmap probe.
+	BankAccesses [][]uint64 `json:"bank_accesses,omitempty"`
+	BankHits     [][]uint64 `json:"bank_hits,omitempty"`
+	// Samples is the queue-occupancy time-series length; MaxInFlight and
+	// MaxPending are its peaks.
+	Samples     int   `json:"samples,omitempty"`
+	MaxInFlight int32 `json:"max_in_flight,omitempty"`
+	MaxPending  int32 `json:"max_pending,omitempty"`
+}
+
+// buildResponse marshals one completed run. The bytes are what the
+// cache stores and every subsequent hit serves verbatim.
+func buildResponse(key string, res core.Result) ([]byte, error) {
+	resp := RunResponse{
+		ConfigHash: key,
+		Design:     res.Design.ID,
+		Topology:   res.Design.Topology,
+		Policy:     res.Options.Policy.String(),
+		Mode:       res.Options.Mode.String(),
+		Benchmark:  res.Options.Benchmark,
+		Accesses:   res.Options.Accesses,
+		Seed:       res.Options.Seed,
+
+		IPC:          res.IPC,
+		PerfectIPC:   res.PerfectIPC,
+		Instructions: res.Instructions,
+		Cycles:       res.Cycles,
+
+		AvgLatency:     res.AvgLatency,
+		AvgHitLatency:  res.AvgHit,
+		AvgMissLatency: res.AvgMiss,
+		HitRate:        res.HitRate,
+
+		BankShare:    res.BankShare,
+		NetworkShare: res.NetworkShare,
+		MemShare:     res.MemShare,
+
+		FlitsInjected:    res.Network.FlitsInjected,
+		PacketsDelivered: res.Network.PacketsDelivered,
+		MemReads:         res.Memory.Reads,
+		MemWriteBacks:    res.Memory.WriteBacks,
+
+		EnergyPJ:          res.Energy.TotalPJ(),
+		EnergyPerAccessNJ: res.Energy.PerAccessNJ(),
+	}
+	if res.Latency != nil {
+		resp.P50 = res.Latency.Percentile(0.50)
+		resp.P90 = res.Latency.Percentile(0.90)
+		resp.P99 = res.Latency.Percentile(0.99)
+	}
+	if tel := res.Telemetry; tel != nil {
+		tr := &TelemetryResponse{}
+		if tel.Heat != nil {
+			tr.BankAccesses = tel.Heat.BankAccesses
+			tr.BankHits = tel.Heat.BankHits
+		}
+		if tel.Series != nil {
+			tr.Samples = tel.Series.Len()
+			tr.MaxInFlight, _ = stats32Max(tel.Series.InFlight)
+			tr.MaxPending, _ = stats32Max(tel.Series.Pending)
+		}
+		resp.Telemetry = tr
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+func stats32Max(v []int32) (max int32, ok bool) {
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	return max, len(v) > 0
+}
+
+// latencySummary condenses a merged stats.Latency for /v1/stats.
+type latencySummary struct {
+	Count      int64   `json:"count"`
+	AvgLatency float64 `json:"avg_latency"`
+	HitRate    float64 `json:"hit_rate"`
+	P50        int64   `json:"p50"`
+	P90        int64   `json:"p90"`
+	P99        int64   `json:"p99"`
+}
+
+func summarize(l *stats.Latency) latencySummary {
+	return latencySummary{
+		Count:      l.Count,
+		AvgLatency: l.Avg(),
+		HitRate:    l.HitRate(),
+		P50:        l.Percentile(0.50),
+		P90:        l.Percentile(0.90),
+		P99:        l.Percentile(0.99),
+	}
+}

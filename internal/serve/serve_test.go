@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/routing"
+	"nucanet/internal/trace"
+)
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, dst any) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+	return resp
+}
+
+// TestCatalogueEndpoints pins that the GET catalogues are derived from
+// the live registries, not hand-maintained lists.
+func TestCatalogueEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var ds struct {
+		Designs []DesignInfo `json:"designs"`
+	}
+	getJSON(t, ts, "/v1/designs", &ds)
+	byID := map[string]DesignInfo{}
+	for _, d := range ds.Designs {
+		byID[d.ID] = d
+	}
+	for _, id := range []string{"A", "B", "C", "D", "E", "F", "R", "G"} {
+		if _, ok := byID[id]; !ok {
+			t.Errorf("/v1/designs missing catalogue design %s", id)
+		}
+	}
+	if a := byID["A"]; a.Topology != "mesh" || a.Routing != "xy" || a.CapacityKB != 16384 {
+		t.Errorf("design A row wrong: %+v", a)
+	}
+	if f := byID["F"]; f.Routing != "spike" || f.Ways != 16 {
+		t.Errorf("design F row wrong: %+v", f)
+	}
+
+	var ps struct {
+		Policies []string `json:"policies"`
+	}
+	getJSON(t, ts, "/v1/policies", &ps)
+	if !reflect.DeepEqual(ps.Policies, cache.PolicyNames()) {
+		t.Errorf("/v1/policies = %v, want registry %v", ps.Policies, cache.PolicyNames())
+	}
+
+	var rs struct {
+		Routings []string `json:"routings"`
+	}
+	getJSON(t, ts, "/v1/routings", &rs)
+	if !reflect.DeepEqual(rs.Routings, routing.AlgorithmNames()) {
+		t.Errorf("/v1/routings = %v, want registry %v", rs.Routings, routing.AlgorithmNames())
+	}
+
+	var bs struct {
+		Benchmarks []string `json:"benchmarks"`
+	}
+	getJSON(t, ts, "/v1/benchmarks", &bs)
+	if !reflect.DeepEqual(bs.Benchmarks, trace.Names()) {
+		t.Errorf("/v1/benchmarks = %v, want registry %v", bs.Benchmarks, trace.Names())
+	}
+}
+
+// TestStatsReflectsTraffic pins the /v1/stats counters and the merged
+// aggregate across a miss and a hit of the same configuration.
+func TestStatsReflectsTraffic(t *testing.T) {
+	g := newGatedRun()
+	close(g.release) // never block; gatedRun still records and resolves
+	_, ts := newTestServer(t, Config{Workers: 2, Run: g.run})
+
+	body := runBody(1)
+	if resp, b := postAs(t, ts, "c", body); resp.StatusCode != 200 {
+		t.Fatalf("miss: %d %s", resp.StatusCode, b)
+	}
+	if resp, _ := postAs(t, ts, "c", body); resp.Header.Get("X-Nucad-Cache") != "hit" {
+		t.Fatal("second request was not a cache hit")
+	}
+
+	var st StatsResponse
+	getJSON(t, ts, "/v1/stats", &st)
+	if st.Served != 2 || st.Cache.Hits != 1 || st.Cache.Size != 1 {
+		t.Fatalf("served/hits/size = %d/%d/%d, want 2/1/1", st.Served, st.Cache.Hits, st.Cache.Size)
+	}
+	// Both responses (the run and its cache hit) merge into the served
+	// aggregate: 2 runs x 100 accesses.
+	if st.Aggregate.Runs != 2 || st.Aggregate.Accesses != 200 {
+		t.Fatalf("aggregate runs/accesses = %d/%d, want 2/200", st.Aggregate.Runs, st.Aggregate.Accesses)
+	}
+	if st.Workers != 2 || st.QueueDepth != 16 {
+		t.Fatalf("workers/depth = %d/%d, want 2/16", st.Workers, st.QueueDepth)
+	}
+
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if resp := getJSON(t, ts, "/v1/healthz", &hz); resp.StatusCode != 200 || hz.Status != "ok" {
+		t.Fatalf("healthz = %d %q, want 200 ok", resp.StatusCode, hz.Status)
+	}
+}
