@@ -10,7 +10,7 @@ GO ?= go
 BENCH_COUNT ?= 3
 BENCH_LABEL ?= after
 
-.PHONY: build test check fmt vet race racegraph racecache serverace conformance bench benchsmoke smoke serve-smoke verify clean
+.PHONY: build test check fmt vet race racegraph racecache racerouter serverace conformance bench benchsmoke smoke pareto-smoke serve-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,14 @@ racegraph:
 racecache:
 	$(GO) test -race ./internal/cache/
 
+# Full (non-short) race pass over the router-engine layer: the registry
+# is read concurrently by the parallel engine's workers while engines
+# themselves are per-run state, and the network-level engine tests pin
+# the conservation/livelock/multicast contracts that would be the first
+# casualties of a data race.
+racerouter:
+	$(GO) test -race ./internal/router/ ./internal/network/
+
 # Full (non-short) race pass over the serving layer (and the canonical
 # hashing it keys on): the scheduler, the result cache, and the
 # coalescing map are the only cross-goroutine state the daemon has, and
@@ -73,7 +81,7 @@ benchsmoke:
 # existing labels (see EXPERIMENTS.md "Benchmarking").
 bench:
 	$(GO) test -run=NONE -benchmem -count=$(BENCH_COUNT) \
-		-bench='BenchmarkKernelRun|BenchmarkRouterSteadyState|BenchmarkCoreRun' . \
+		-bench='BenchmarkKernelRun|BenchmarkRouterSteadyState|BenchmarkRouterEngines|BenchmarkCoreRun' . \
 		| tee /tmp/nucanet-bench-$(BENCH_LABEL).txt
 	$(GO) run ./cmd/benchjson -o BENCH_kernel.json -label $(BENCH_LABEL) \
 		< /tmp/nucanet-bench-$(BENCH_LABEL).txt
@@ -91,6 +99,14 @@ smoke:
 		-heatmap -sample 100 -trace /tmp/nucasim-smoke.jsonl >/dev/null
 	@rm -f /tmp/nucasim-smoke.jsonl
 	@echo "telemetry smoke: ok"
+
+# Tiny router-engine Pareto sweep (every registered engine over designs
+# A/D/F/R under both schemes) so the area/latency/energy frontier
+# plumbing — registry, Supports gating, area scaling, dominance check —
+# can never rot silently.
+pareto-smoke:
+	$(GO) run ./cmd/paperbench -exp pareto -n 400 >/dev/null
+	@echo "pareto smoke: ok"
 
 # End-to-end serving smoke: build the daemon and the load driver, boot
 # the daemon on an ephemeral port, fire a short mixed load at it, and
@@ -112,11 +128,14 @@ serve-smoke:
 	exit $$rc
 	@echo "serve smoke: ok"
 
-# Static deadlock-freedom verification of the whole design catalogue.
+# Static verification of the whole design catalogue: the
+# channel-dependence deadlock check for the buffered default engine,
+# then the productive-route livelock check for the deflecting engine.
 verify:
 	$(GO) run ./cmd/nucasim -verify-routing
+	$(GO) run ./cmd/nucasim -router bufferless -verify-routing
 
-check: fmt vet race racegraph racecache serverace conformance benchsmoke smoke serve-smoke verify
+check: fmt vet race racegraph racecache racerouter serverace conformance benchsmoke smoke pareto-smoke serve-smoke verify
 
 clean:
 	$(GO) clean ./...

@@ -47,9 +47,16 @@ const coreRunAccesses = 10000
 // and returns an injector that launches one multicast block packet down
 // every column.
 func steadyMesh() (*sim.Kernel, *network.Network, func()) {
+	return steadyMeshEngine(router.DefaultEngine)
+}
+
+// steadyMeshEngine is steadyMesh with a registry router engine selected.
+func steadyMeshEngine(engine string) (*sim.Kernel, *network.Network, func()) {
 	topo := topology.NewMesh(topology.MeshSpec{W: 16, H: 16, CoreX: 7, MemX: 8})
 	k := sim.NewKernel()
-	net := network.MustNew(k, topo, routing.XY{}, router.DefaultConfig())
+	cfg := router.DefaultConfig()
+	cfg.Engine = engine
+	net := network.MustNew(k, topo, routing.XY{}, cfg)
 	sink := nullEndpoint{}
 	for id := 0; id < topo.NumNodes(); id++ {
 		net.Attach(id, flit.ToBank, sink)
@@ -158,6 +165,71 @@ func TestRouterSteadyStateZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("steady-state network cycle allocates: %.2f allocs per 200 cycles, want 0", avg)
+	}
+}
+
+// TestBufferlessSteadyStateZeroAlloc extends the zero-allocation
+// steady-state contract to the bufferless deflection engine — the cycle
+// kernel the Pareto sweep sells as the cheapest one, which it only is if
+// deflection arbitration runs entirely on preallocated scratch. Warm-up
+// absorbs the latch-ring high-water marks and the source-expansion
+// replica pool; after that, route computation, age sorting, deflection,
+// and ejection must allocate nothing. The 200-cycle rounds do not align
+// with the network's drain period, so high-water marks (latch rings, the
+// replica pool) keep creeping for a couple of rounds — the explicit warm
+// loop below runs the population past them before AllocsPerRun measures.
+func TestBufferlessSteadyStateZeroAlloc(t *testing.T) {
+	k, net, _ := steadyMeshEngine("bufferless")
+	topo := net.Topo
+	pkts := make([]*flit.Packet, 16)
+	for c := range pkts {
+		pkts[c] = &flit.Packet{
+			Kind: flit.WriteData, Src: topo.Core,
+			Dst: topo.NodeAt(c, 15), DstEp: flit.ToBank,
+			PathDeliver: true,
+		}
+	}
+	inject := func() {
+		for _, p := range pkts {
+			net.Send(p, k.Now())
+		}
+	}
+	inject()
+	round := func() {
+		for i := 0; i < 200; i++ {
+			if !k.Step() {
+				inject()
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		round()
+	}
+	avg := testing.AllocsPerRun(50, round)
+	if avg != 0 {
+		t.Fatalf("steady-state bufferless cycle allocates: %.2f allocs per 200 cycles, want 0", avg)
+	}
+}
+
+// TestBufferlessSteadyMeshPoolBalanced is the replica-freelist leak
+// invariant for source-expanded multicast: every pooled replica the
+// bufferless injector minted came back exactly once after drain.
+func TestBufferlessSteadyMeshPoolBalanced(t *testing.T) {
+	k, net, inject := steadyMeshEngine("bufferless")
+	for round := 0; round < 20; round++ {
+		inject()
+		for k.Step() {
+		}
+	}
+	if got := net.InFlight(); got != 0 {
+		t.Fatalf("network did not drain: %d flits in flight", got)
+	}
+	ps := net.PoolStats()
+	if ps.Gets == 0 {
+		t.Fatal("no replicas were spawned; source-expanded multicast did not run")
+	}
+	if ps.Live != 0 || ps.Gets != ps.Puts {
+		t.Fatalf("replica pool leak: gets=%d puts=%d live=%d", ps.Gets, ps.Puts, ps.Live)
 	}
 }
 
@@ -301,6 +373,39 @@ func TestCacheRunPacketPoolBalanced(t *testing.T) {
 	}
 	if ps.Live != 0 || ps.Gets != ps.Puts {
 		t.Fatalf("replica pool leak after full run: gets=%d puts=%d live=%d", ps.Gets, ps.Puts, ps.Live)
+	}
+}
+
+// routerEngineBenchAccesses keeps the engine x design product affordable
+// in `make bench` while still long enough for steady-state rates.
+const routerEngineBenchAccesses = 2000
+
+// BenchmarkRouterEngines measures the end-to-end cost of every
+// registered router microarchitecture on the mesh (A), simplified-mesh
+// (D), and halo (F) representatives — the per-engine latency axis of the
+// Pareto sweep, pinned in BENCH_kernel.json next to the wormhole
+// steady-state numbers.
+func BenchmarkRouterEngines(b *testing.B) {
+	for _, eng := range router.Names() {
+		for _, id := range []string{"A", "D", "F"} {
+			eng, id := eng, id
+			b.Run(eng+"/design-"+id, func(b *testing.B) {
+				var r core.Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					r, err = core.Run(core.Options{
+						DesignID: id, Policy: cache.FastLRU, Mode: cache.Multicast,
+						Benchmark: "gcc", Accesses: routerEngineBenchAccesses,
+						Seed: 42, Router: eng,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(r.IPC, "IPC")
+				b.ReportMetric(float64(r.Cycles)/float64(routerEngineBenchAccesses), "cycles/access")
+			})
+		}
 	}
 }
 

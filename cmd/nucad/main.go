@@ -10,6 +10,7 @@
 //	GET  /v1/designs     design catalogue
 //	GET  /v1/policies    registered replacement policies
 //	GET  /v1/routings    registered routing algorithms
+//	GET  /v1/routers     registered router microarchitectures
 //	GET  /v1/benchmarks  Table 2 workload profiles
 //	GET  /v1/stats       cache/queue/aggregate counters
 //	GET  /v1/healthz     ok, or draining during shutdown

@@ -9,7 +9,10 @@
 // The mix cycles seeds 0..unique-1, so with n > unique every
 // configuration after the first lap is a cache hit — the "millions of
 // users asking the same questions" traffic shape the service is built
-// for. -require-hits makes a hitless run a failure (the CI smoke gate).
+// for. Every third configuration additionally requests the bufferless
+// deflection router, so the mix exercises more than one router engine
+// (and more than one content-addressed key per seed lap) on every run.
+// -require-hits makes a hitless run a failure (the CI smoke gate).
 package main
 
 import (
@@ -46,7 +49,10 @@ func main() {
 	}
 
 	// The request list is deterministic: request i uses seed i%unique
-	// under client identity i%clients.
+	// under client identity i%clients, and every third seed asks for the
+	// bufferless router. Keying the router off the seed (not off i) keeps
+	// the distinct-configuration count equal to -unique, so the cache-hit
+	// math in the doc comment still holds.
 	type job struct{ seed, client int }
 	jobs := make(chan job)
 	var wg sync.WaitGroup
@@ -56,8 +62,12 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				body := fmt.Sprintf(`{"design":%q,"benchmark":%q,"accesses":%d,"seed":%d}`,
-					*design, *bench, *acc, j.seed)
+				routerField := ""
+				if j.seed%3 == 2 {
+					routerField = `,"router":"bufferless"`
+				}
+				body := fmt.Sprintf(`{"design":%q,"benchmark":%q,"accesses":%d,"seed":%d%s}`,
+					*design, *bench, *acc, j.seed, routerField)
 				l.do(body, "client-"+strconv.Itoa(j.client))
 			}
 		}()

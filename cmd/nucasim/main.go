@@ -10,18 +10,27 @@
 // output is deterministic: a fixed seed produces byte-identical traces
 // and heatmaps at any -j.
 //
-// -verify-routing skips simulation entirely and runs the static
-// deadlock-freedom verifier (routing.VerifyDeadlockFree) over every
-// catalogue design's topology/algorithm pair, printing one line per
-// design; it exits non-zero if any pair is rejected.
+// -router selects a registered router microarchitecture (VC wormhole,
+// bufferless deflection, ring-lite; -list-routers enumerates them) for
+// every run, overriding the design's engine.
+//
+// -verify-routing skips simulation entirely and runs the static verifier
+// over every catalogue design's topology/algorithm pair — the
+// channel-dependence deadlock check for buffered engines, the
+// productive-route livelock check when -router names a deflecting engine
+// — printing one line per design; it exits non-zero if any pair is
+// rejected.
 //
 // Usage:
 //
 //	nucasim -design A -policy fastlru -mode multicast -bench gcc -n 8000
 //	nucasim -design F -bench all -j 8
+//	nucasim -design A -router bufferless -bench gcc
 //	nucasim -design A -heatmap -sample 100 -trace /tmp/flits.jsonl
 //	nucasim -verify-routing
+//	nucasim -router bufferless -verify-routing
 //	nucasim -list-policies
+//	nucasim -list-routers
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"nucanet/internal/config"
 	"nucanet/internal/core"
 	"nucanet/internal/cpu"
+	"nucanet/internal/router"
 	"nucanet/internal/routing"
 	"nucanet/internal/trace"
 )
@@ -52,7 +62,10 @@ func main() {
 			"statically verify deadlock freedom of every catalogue design's routing, then exit")
 		listPol = flag.Bool("list-policies", false,
 			"list the registered replacement policies and request modes, then exit")
+		listRouters = flag.Bool("list-routers", false,
+			"list the registered router microarchitectures, then exit")
 	)
+	routerName := cliutil.Router(flag.CommandLine)
 	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
 
@@ -60,8 +73,12 @@ func main() {
 		cliutil.ListSchemes(os.Stdout)
 		return
 	}
+	if *listRouters {
+		cliutil.ListRouters(os.Stdout)
+		return
+	}
 	if *verify {
-		os.Exit(verifyRouting(os.Stdout))
+		os.Exit(verifyRouting(os.Stdout, *routerName))
 	}
 
 	p, m := *policy, *mode
@@ -77,7 +94,7 @@ func main() {
 	opts := make([]core.Options, len(benches))
 	for i, b := range benches {
 		opts[i] = core.Options{
-			DesignID: *design, Policy: p, Mode: m,
+			DesignID: *design, Policy: p, Mode: m, Router: *routerName,
 			Benchmark: b, Accesses: *n, Seed: *seed,
 			CPU:       cpu.Config{Window: *window, BlockingProb: *blocking},
 			Telemetry: tcfg,
@@ -161,10 +178,21 @@ func writeTraces(path, design string, benches []string, results []core.Result) e
 	return nil
 }
 
-// verifyRouting runs the channel-dependence verifier over every design
-// in the catalogue (Table 3's A-F plus the extra registered families)
-// and reports one line per design. Returns a process exit code.
-func verifyRouting(w io.Writer) int {
+// verifyRouting runs the static verifier over every design in the
+// catalogue (Table 3's A-F plus the extra registered families) and
+// reports one line per design: the channel-dependence deadlock check for
+// buffered engines, the productive-route livelock check when engineName
+// resolves to a deflecting engine. Returns a process exit code.
+func verifyRouting(w io.Writer, engineName string) int {
+	eng, err := router.ByName(engineName)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 1
+	}
+	property := "deadlock-free"
+	if eng.Deflecting {
+		property = "livelock-free"
+	}
 	code := 0
 	for _, d := range append(config.Designs(), config.ExtraDesigns()...) {
 		topo, err := d.Build()
@@ -179,13 +207,18 @@ func verifyRouting(w io.Writer) int {
 			code = 1
 			continue
 		}
-		if err := routing.VerifyDeadlockFree(topo, alg); err != nil {
+		if eng.Deflecting {
+			err = routing.VerifyDeflectionLivelockFree(topo, alg, eng.AgeMonotone)
+		} else {
+			err = routing.VerifyDeadlockFree(topo, alg)
+		}
+		if err != nil {
 			fmt.Fprintf(w, "design %s  REJECTED  %v\n", d.ID, err)
 			code = 1
 			continue
 		}
-		fmt.Fprintf(w, "design %s  deadlock-free  (%s over %s, %d routers, %d links)\n",
-			d.ID, alg.Name(), topo.Name, topo.NumNodes(), topo.CountLinks())
+		fmt.Fprintf(w, "design %s  %s  (%s engine %s over %s, %d routers, %d links)\n",
+			d.ID, property, alg.Name(), eng.Name, topo.Name, topo.NumNodes(), topo.CountLinks())
 	}
 	return code
 }

@@ -13,8 +13,15 @@
 // power, telemetry); names resolve through the cache policy registry, so
 // policies added with cache.RegisterPolicy work unchanged. The
 // fixed-scheme reproductions (t1-t4, f7, f8, headline) ignore them.
+// -router overrides the router microarchitecture of every simulated run;
+// it resolves through the router registry (-list-routers on nucasim).
 //
-// Experiments: t1 t2 t3 t4 f7 f8 f9 headline energy power telemetry all
+// Experiments: t1 t2 t3 t4 f7 f8 f9 headline energy power pareto telemetry all
+//
+// The pareto experiment crosses every registered router engine with the
+// mesh, simplified-mesh, halo, and ring designs and both multicast
+// schemes, prints each point's area, latency, and energy, and marks the
+// configurations on the cost/performance frontier (see EXPERIMENTS.md).
 //
 // The telemetry section compares designs A, D, and F side by side on one
 // benchmark with cycle-level probes: -heatmap prints ASCII link/bank
@@ -40,12 +47,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: t1 t2 t3 t4 f7 f8 f9 headline energy power telemetry all")
+		exp    = flag.String("exp", "all", "experiment: t1 t2 t3 t4 f7 f8 f9 headline energy power pareto telemetry all")
 		n      = flag.Int("n", 8000, "measured L2 accesses per run")
 		seed   = flag.Uint64("seed", 42, "random seed")
 		jobs   = cliutil.Jobs(flag.CommandLine)
 		tflags = cliutil.Telemetry(flag.CommandLine)
 	)
+	routerName := cliutil.Router(flag.CommandLine)
 	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
 	workers, err := cliutil.ResolveJobs(*jobs)
@@ -57,6 +65,7 @@ func main() {
 	cfg := core.ExpConfig{
 		Accesses: *n, Seed: *seed, Workers: workers,
 		PolicyName: policy.String(), ModeName: mode.String(),
+		RouterName: *routerName,
 	}
 	traceOut := tflags.TracePath
 	tcfg := tflags.Config()
@@ -70,9 +79,10 @@ func main() {
 		"headline":  headline,
 		"energy":    energyExp,
 		"power":     powerExp,
+		"pareto":    paretoExp,
 		"telemetry": func(c core.ExpConfig) { telemetryExp(c, tcfg, *traceOut) },
 	}
-	order := []string{"t1", "t2", "t3", "t4", "f7", "f8", "f9", "headline", "energy", "power"}
+	order := []string{"t1", "t2", "t3", "t4", "f7", "f8", "f9", "headline", "energy", "power", "pareto"}
 
 	if *exp == "all" {
 		for _, e := range order {
@@ -325,6 +335,34 @@ func powerExp(cfg core.ExpConfig) {
 		fmt.Printf("   %2d      %5d KB    %5.1f%%   %5.3f     %7.2f\n",
 			c.WaysOn, c.CapacityKB, 100*c.HitRate, c.IPC, c.Energy.PerAccessNJ())
 	}
+	sweepLine(rep)
+}
+
+// paretoExp prints the router-microarchitecture sweep: every registered
+// engine crossed with the mesh (A), simplified mesh (D), halo (F), and
+// ring (R) designs under both multicast schemes, each point priced by the
+// area model and measured by simulation. A '*' marks the
+// area/latency/energy frontier; combinations an engine rejects print the
+// reason instead of numbers.
+func paretoExp(cfg core.ExpConfig) {
+	header("Pareto sweep: router engine x design x scheme (gcc)")
+	pts, rep, err := core.ParetoSweep(cfg, "gcc")
+	fatal(err)
+	fmt.Println("   router        design  scheme                 L2 mm2   net mm2   avg lat   nJ/acc     IPC")
+	for _, p := range pts {
+		if p.Skipped != "" {
+			fmt.Printf("   %-13s %-7s %-21s skipped: %s\n", p.RouterName, p.DesignID, p.Scheme, p.Skipped)
+			continue
+		}
+		mark := " "
+		if p.Frontier {
+			mark = "*"
+		}
+		fmt.Printf(" %s %-13s %-7s %-21s %7.1f   %7.2f   %7.1f   %6.2f   %5.3f\n",
+			mark, p.RouterName, p.DesignID, p.Scheme,
+			p.AreaMM2, p.NetMM2, p.AvgLat, p.EnergyNJ, p.IPC)
+	}
+	fmt.Println("('*' = on the area/latency/energy frontier: no point is better on all three axes)")
 	sweepLine(rep)
 }
 

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"nucanet/internal/config"
+	"nucanet/internal/router"
 )
 
 // Model holds the calibrated constants.
@@ -53,10 +54,32 @@ func (m Model) BankArea(sizeKB int) float64 {
 }
 
 // RouterArea returns the area of a router with the given port count
-// (neighbor ports + injection).
+// (neighbor ports + injection), at the calibrated wormhole buffering.
 func (m Model) RouterArea(ports int) float64 {
 	p := float64(ports)
 	return m.RouterPortLinear*p + m.RouterPortQuad*p*p
+}
+
+// RouterAreaFor returns the area of a router with the given port count
+// under a specific router configuration. The linear term models the input
+// buffers, so it scales with the engine's buffer flits per port relative
+// to the calibration point (the default wormhole router's 16 flits: 4 VCs
+// x 4 slots); the quadratic crossbar term is engine-independent. The
+// default configuration therefore reproduces RouterArea exactly, keeping
+// Table 4 bit-identical, while bufferless (1 latch flit) and ring-lite (2)
+// shed most of the buffer area — the area axis of the Pareto sweep.
+func (m Model) RouterAreaFor(cfg router.Config, ports int) (float64, error) {
+	eng, err := router.ByName(cfg.Engine)
+	if err != nil {
+		return 0, err
+	}
+	calib, err := router.ByName(router.DefaultEngine)
+	if err != nil {
+		return 0, err
+	}
+	scale := float64(eng.BufferFlits(cfg)) / float64(calib.BufferFlits(router.DefaultConfig()))
+	p := float64(ports)
+	return m.RouterPortLinear*p*scale + m.RouterPortQuad*p*p, nil
 }
 
 // LinkWidthMM returns the physical width of one bidirectional link.
@@ -108,7 +131,10 @@ func (m Model) Analyze(d config.Design) (Report, error) {
 				ports++
 			}
 		}
-		ra := m.RouterArea(ports)
+		ra, err := m.RouterAreaFor(d.Router, ports)
+		if err != nil {
+			return Report{}, fmt.Errorf("area: design %s: %w", d.ID, err)
+		}
 		rep.RouterMM2 += ra
 		tileFixed[id] = ra
 	}

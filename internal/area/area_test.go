@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nucanet/internal/config"
+	"nucanet/internal/router"
 )
 
 // analyze unwraps Analyze for designs the tests know to be valid.
@@ -187,5 +188,54 @@ func TestSimplifiedMeshSavesNetwork(t *testing.T) {
 	}
 	if rb.BankMM2 != ra.BankMM2 {
 		t.Fatal("banks unchanged between A and B")
+	}
+}
+
+// TestRouterAreaPerEngine pins the per-engine buffer cost model: the
+// default configuration reproduces the calibrated RouterArea exactly
+// (Table 4 stays bit-identical), and the low-cost engines order strictly
+// below the wormhole — the area axis the Pareto sweep trades against
+// latency.
+func TestRouterAreaPerEngine(t *testing.T) {
+	m := DefaultModel()
+	cfg := router.DefaultConfig()
+	areaOf := func(engine string) float64 {
+		t.Helper()
+		c := cfg
+		c.Engine = engine
+		a, err := m.RouterAreaFor(c, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	if got, want := areaOf(""), m.RouterArea(5); got != want {
+		t.Errorf("default engine router area = %v, want RouterArea's %v", got, want)
+	}
+	if got, want := areaOf("vc-wormhole"), m.RouterArea(5); got != want {
+		t.Errorf("explicit wormhole router area = %v, want RouterArea's %v", got, want)
+	}
+	bl, rl, wh := areaOf("bufferless"), areaOf("ring-lite"), areaOf("vc-wormhole")
+	if !(bl < rl && rl < wh) {
+		t.Errorf("engine areas not ordered: bufferless %v, ring-lite %v, wormhole %v", bl, rl, wh)
+	}
+	if _, err := m.RouterAreaFor(router.Config{Engine: "optical"}, 5); err == nil {
+		t.Error("unknown engine accepted by RouterAreaFor")
+	}
+
+	// A whole-design check: Design A rebuilt with the bufferless engine
+	// must shed router area but keep bank area untouched.
+	d, err := config.DesignByID("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := analyze(t, m, d)
+	d.Router.Engine = "bufferless"
+	lean := analyze(t, m, d)
+	if !(lean.RouterMM2 < base.RouterMM2) {
+		t.Errorf("bufferless design A router area %v not below wormhole's %v", lean.RouterMM2, base.RouterMM2)
+	}
+	if lean.BankMM2 != base.BankMM2 {
+		t.Errorf("bank area changed with the router engine: %v vs %v", lean.BankMM2, base.BankMM2)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"nucanet/internal/cache"
+	"nucanet/internal/router"
 	"nucanet/internal/telemetry"
 )
 
@@ -39,6 +40,28 @@ func ListSchemes(w io.Writer) {
 	fmt.Fprintln(w, "request modes:")
 	for _, m := range []cache.Mode{cache.Unicast, cache.Multicast} {
 		fmt.Fprintf(w, "  %s\n", m)
+	}
+}
+
+// Router registers the standard -router flag (a registered router
+// microarchitecture; empty keeps the design's engine) and returns its
+// destination. The help text enumerates the registry, so an engine added
+// with router.Register shows up on every binary automatically.
+func Router(fs *flag.FlagSet) *string {
+	return fs.String("router", "", "router microarchitecture: "+
+		strings.Join(router.Names(), ", ")+" (default: the design's engine, "+router.DefaultEngine+")")
+}
+
+// ListRouters prints the registered router microarchitectures — the
+// -list-routers output shared by the binaries.
+func ListRouters(w io.Writer) {
+	fmt.Fprintln(w, "registered router engines:")
+	for _, name := range router.Names() {
+		b, err := router.ByName(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s %s\n", name, b.Description)
 	}
 }
 

@@ -237,5 +237,14 @@ func (d Design) Validate() error {
 	if err := topo.Validate(); err != nil {
 		return fmt.Errorf("config %s: %v", d.ID, err)
 	}
+	eng, err := router.ByName(d.Router.Engine)
+	if err != nil {
+		return fmt.Errorf("config %s: %v", d.ID, err)
+	}
+	if eng.Supports != nil {
+		if err := eng.Supports(topo, d.Router); err != nil {
+			return fmt.Errorf("config %s: router engine %q cannot run this design: %v", d.ID, eng.Name, err)
+		}
+	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"nucanet/internal/energy"
 	"nucanet/internal/mem"
 	"nucanet/internal/network"
+	"nucanet/internal/router"
 	"nucanet/internal/sim"
 	"nucanet/internal/stats"
 	"nucanet/internal/telemetry"
@@ -34,6 +35,11 @@ type Options struct {
 	Mode   cache.Mode
 	// Benchmark names a Table 2 profile.
 	Benchmark string
+	// Router, when non-empty, overrides the design's router
+	// microarchitecture with a registered engine name ("vc-wormhole",
+	// "bufferless", "ring-lite"). Empty keeps the design's own engine
+	// (itself defaulting to the VC wormhole router).
+	Router string
 	// Accesses is the measured L2 access count (after warm-up).
 	Accesses int
 	Seed     uint64
@@ -103,6 +109,20 @@ func Run(opt Options) (Result, error) {
 		return Result{}, err
 	}
 	d := *dp
+	if opt.Router != "" {
+		d.Router.Engine = opt.Router
+	}
+	// Normalize the engine to its registered name (empty selects the
+	// default) so Result.Design records what actually simulated, and fail
+	// fast on unknown engines or unsupported (engine, topology) pairs.
+	eng, err := router.ByName(d.Router.Engine)
+	if err != nil {
+		return Result{}, err
+	}
+	d.Router.Engine = eng.Name
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
 	prof, err := trace.ProfileByName(opt.Benchmark)
 	if err != nil {
 		return Result{}, err

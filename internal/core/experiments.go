@@ -8,6 +8,7 @@ import (
 	"nucanet/internal/cache"
 	"nucanet/internal/config"
 	"nucanet/internal/energy"
+	"nucanet/internal/router"
 	"nucanet/internal/telemetry"
 	"nucanet/internal/trace"
 )
@@ -51,6 +52,11 @@ type ExpConfig struct {
 	// ignore the override by design.
 	PolicyName string
 	ModeName   string
+	// RouterName overrides the router microarchitecture of every run in
+	// an experiment (the -router flag); empty keeps each design's engine.
+	// Names resolve through the router registry, like PolicyName through
+	// the cache registry.
+	RouterName string
 }
 
 // DefaultExpConfig keeps the full figure sweeps to a few minutes.
@@ -76,7 +82,7 @@ func (cfg ExpConfig) scheme(p cache.Policy, m cache.Mode) (cache.Policy, cache.M
 // run builds the Options for one (design, scheme, benchmark) cell.
 func (cfg ExpConfig) run(designID string, p cache.Policy, m cache.Mode, bench string) Options {
 	return Options{
-		DesignID: designID, Policy: p, Mode: m,
+		DesignID: designID, Policy: p, Mode: m, Router: cfg.RouterName,
 		Benchmark: bench, Accesses: cfg.Accesses, Seed: cfg.Seed,
 	}
 }
@@ -363,6 +369,111 @@ func PowerGatingSweep(cfg ExpConfig, bench string) ([]PowerCell, SweepReport, er
 		out[i].Energy = r.Energy
 	}
 	return out, rep, nil
+}
+
+// ParetoPoint is one (router, design, scheme) operating point of the
+// cost/performance sweep: silicon cost from the area model, energy and
+// latency from the simulation. Points no engine can run carry the reason
+// in Skipped instead of measurements.
+type ParetoPoint struct {
+	RouterName string
+	DesignID   string
+	Scheme     string
+
+	IPC      float64
+	AvgLat   float64 // average L2 access latency (cycles)
+	AreaMM2  float64 // L2 area: banks + routers + links
+	NetMM2   float64 // interconnect share of AreaMM2
+	EnergyNJ float64 // nJ per L2 access
+
+	// Frontier marks points no other point dominates (lower area, lower
+	// latency, and lower energy, strictly better in at least one).
+	Frontier bool
+	// Skipped carries the constructor's rejection for combinations the
+	// engine declared unsupported; the point has no measurements.
+	Skipped string
+}
+
+// dominated reports whether q beats p on every Pareto axis (area,
+// latency, energy) and strictly on at least one.
+func (p ParetoPoint) dominated(q ParetoPoint) bool {
+	if q.AreaMM2 > p.AreaMM2 || q.AvgLat > p.AvgLat || q.EnergyNJ > p.EnergyNJ {
+		return false
+	}
+	return q.AreaMM2 < p.AreaMM2 || q.AvgLat < p.AvgLat || q.EnergyNJ < p.EnergyNJ
+}
+
+// ParetoSweep crosses every registered router microarchitecture with the
+// mesh (A), simplified mesh (D), halo (F), and ring (R) representatives
+// and both multicast schemes on one benchmark, then marks the
+// area/latency/energy frontier. Combinations an engine rejects (its
+// Supports declaration) are reported as skipped rather than failing the
+// sweep, so registering a constrained engine never breaks the experiment.
+func ParetoSweep(cfg ExpConfig, bench string) ([]ParetoPoint, SweepReport, error) {
+	schemes := []Scheme{
+		{"multicast+promotion", cache.Promotion, cache.Multicast},
+		{"multicast+fastLRU", cache.FastLRU, cache.Multicast},
+	}
+	ids := []string{"A", "D", "F", "R"}
+	model := area.DefaultModel()
+	var opts []Options
+	var pts []ParetoPoint
+	for _, rt := range router.Names() {
+		for _, id := range ids {
+			for _, s := range schemes {
+				o := cfg.run(id, s.Policy, s.Mode, bench)
+				o.Router = rt
+				pt := ParetoPoint{RouterName: rt, DesignID: id, Scheme: s.Name}
+				if err := o.Validate(); err != nil {
+					pt.Skipped = err.Error()
+					pts = append(pts, pt)
+					continue
+				}
+				d, err := config.DesignByID(id)
+				if err != nil {
+					return nil, SweepReport{}, err
+				}
+				d.Router.Engine = rt
+				rep, err := model.Analyze(d)
+				if err != nil {
+					return nil, SweepReport{}, err
+				}
+				pt.AreaMM2, pt.NetMM2 = rep.L2MM2(), rep.NetworkMM2()
+				opts = append(opts, o)
+				pts = append(pts, pt)
+			}
+		}
+	}
+	rs, rep, err := cfg.sweep(opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	// Results map back in submission order; skipped points consumed none.
+	j := 0
+	for i := range pts {
+		if pts[i].Skipped != "" {
+			continue
+		}
+		r := rs[j]
+		j++
+		pts[i].IPC = r.IPC
+		pts[i].AvgLat = r.AvgLatency
+		pts[i].EnergyNJ = r.Energy.PerAccessNJ()
+	}
+	for i := range pts {
+		if pts[i].Skipped != "" {
+			continue
+		}
+		dom := false
+		for k := range pts {
+			if k != i && pts[k].Skipped == "" && pts[i].dominated(pts[k]) {
+				dom = true
+				break
+			}
+		}
+		pts[i].Frontier = !dom
+	}
+	return pts, rep, nil
 }
 
 // Table2Row reports the generator's self-check against the Table 2

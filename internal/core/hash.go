@@ -8,6 +8,7 @@ import (
 
 	"nucanet/internal/config"
 	"nucanet/internal/cpu"
+	"nucanet/internal/router"
 	"nucanet/internal/telemetry"
 )
 
@@ -18,7 +19,7 @@ import (
 // an entry here) fails the build's tests instead of silently aliasing
 // distinct configurations in the result cache.
 var hashedOptionFields = []string{
-	"DesignID", "Design", "Policy", "Mode", "Benchmark",
+	"DesignID", "Design", "Policy", "Mode", "Benchmark", "Router",
 	"Accesses", "Seed", "CPU", "Telemetry",
 }
 
@@ -50,6 +51,18 @@ func CanonicalKey(o Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Mirror Run's router normalization: the Options override folds into
+	// the resolved design and the engine name canonicalizes through the
+	// registry, so an empty engine and an explicit default engine name
+	// share one cache line while distinct engines never alias.
+	if o.Router != "" {
+		d.Router.Engine = o.Router
+	}
+	eng, err := router.ByName(d.Router.Engine)
+	if err != nil {
+		return "", err
+	}
+	d.Router.Engine = eng.Name
 	if !o.Policy.Valid() {
 		return "", fmt.Errorf("core: invalid policy %v", o.Policy)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"nucanet/internal/cache"
 	"nucanet/internal/config"
+	"nucanet/internal/router"
 	"nucanet/internal/routing"
 	"nucanet/internal/telemetry"
 )
@@ -88,18 +89,21 @@ func TestCanonicalKeyInjectiveOverRegistries(t *testing.T) {
 		routings[topo.Routing] = true
 		for _, p := range policies {
 			for _, m := range modes {
-				o := DefaultOptions()
-				o.DesignID = d.ID
-				o.Policy, o.Mode = p, m
-				key, err := CanonicalKey(o)
-				if err != nil {
-					t.Fatalf("CanonicalKey(%s/%v/%v): %v", d.ID, p, m, err)
+				for _, eng := range router.Names() {
+					o := DefaultOptions()
+					o.DesignID = d.ID
+					o.Policy, o.Mode = p, m
+					o.Router = eng
+					key, err := CanonicalKey(o)
+					if err != nil {
+						t.Fatalf("CanonicalKey(%s/%v/%v/%s): %v", d.ID, p, m, eng, err)
+					}
+					label := d.ID + "/" + p.String() + "/" + m.String() + "/" + eng
+					if prev, dup := seen[key]; dup {
+						t.Fatalf("hash collision: %s and %s both map to %s", prev, label, key)
+					}
+					seen[key] = label
 				}
-				label := d.ID + "/" + p.String() + "/" + m.String()
-				if prev, dup := seen[key]; dup {
-					t.Fatalf("hash collision: %s and %s both map to %s", prev, label, key)
-				}
-				seen[key] = label
 			}
 		}
 	}
@@ -137,6 +141,12 @@ func TestCanonicalKeySensitivity(t *testing.T) {
 	o = base
 	o.Telemetry = telemetry.Config{SampleEvery: 100}
 	perturb["telemetry.sample"] = o
+	o = base
+	o.Router = "bufferless"
+	perturb["router.bufferless"] = o
+	o = base
+	o.Router = "ring-lite"
+	perturb["router.ring-lite"] = o
 	for name, opt := range perturb {
 		key, err := CanonicalKey(opt)
 		if err != nil {

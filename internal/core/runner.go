@@ -14,8 +14,17 @@ import (
 // values, and a positive access count. Run performs the same checks; use
 // Validate to fail fast before queuing work (e.g. building a sweep).
 func (o Options) Validate() error {
-	if _, err := config.Resolve(o.DesignID, o.Design); err != nil {
+	d, err := config.Resolve(o.DesignID, o.Design)
+	if err != nil {
 		return err
+	}
+	if o.Router != "" {
+		// Re-validate with the router override applied: unknown engine
+		// names and unsupported (engine, topology) pairs fail here.
+		d.Router.Engine = o.Router
+		if err := d.Validate(); err != nil {
+			return err
+		}
 	}
 	if _, err := trace.ProfileByName(o.Benchmark); err != nil {
 		return err
@@ -61,6 +70,12 @@ func WithDesign(d *config.Design) Option {
 // (the paper's experiments always vary them as a pair).
 func WithScheme(p cache.Policy, m cache.Mode) Option {
 	return func(o *Options) { o.Policy = p; o.Mode = m }
+}
+
+// WithRouter selects a registered router microarchitecture by name,
+// overriding the design's engine ("" keeps the design default).
+func WithRouter(name string) Option {
+	return func(o *Options) { o.Router = name }
 }
 
 // WithBenchmark selects a Table 2 workload profile.

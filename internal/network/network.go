@@ -46,7 +46,7 @@ type Network struct {
 	K       *sim.Kernel
 	Topo    *topology.Topology
 	Alg     routing.Algorithm
-	Routers []*router.Router
+	Routers []router.Engine
 
 	eps  [][3]Endpoint    // [node][flit.Endpoint]
 	pool *flit.PacketPool // recycles multicast replica packets; one per run
@@ -62,26 +62,45 @@ type Network struct {
 }
 
 // New builds and wires a network over topo using alg and router config cfg,
-// registering every router with k. Construction fails if the routing
-// table cannot be built or — the static safety gate — if the routes
-// admit a channel-dependence cycle (routing.VerifyDeadlockFree): a
-// topology/algorithm pair that could deadlock is rejected before a
-// single cycle is simulated.
+// registering every router with k. The router microarchitecture is
+// selected from the registry by cfg.Engine (empty selects the default VC
+// wormhole router). Construction fails if the engine name is unknown, the
+// routing table cannot be built, the engine's Supports check rejects the
+// (topology, config) pair, or — the static safety gate — the routes fail
+// the engine's progress proof: blocking engines must pass the
+// channel-dependence cycle check (routing.VerifyDeadlockFree), deflecting
+// engines the livelock-freedom argument
+// (routing.VerifyDeflectionLivelockFree). A configuration that could
+// deadlock or livelock is rejected before a single cycle is simulated.
 func New(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg router.Config) (*Network, error) {
+	eng, err := router.ByName(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
 	// Precompute the routing table once so the per-flit hot path is a
 	// flat array lookup; idempotent if the caller already passed a table.
 	tb, err := routing.Precompute(topo, alg)
 	if err != nil {
 		return nil, err
 	}
-	if err := routing.VerifyDeadlockFree(topo, tb); err != nil {
-		return nil, err
+	if eng.Deflecting {
+		err = routing.VerifyDeflectionLivelockFree(topo, tb, eng.AgeMonotone)
+	} else {
+		err = routing.VerifyDeadlockFree(topo, tb)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("network: engine %q on %s: %w", eng.Name, topo.Name, err)
+	}
+	if eng.Supports != nil {
+		if err := eng.Supports(topo, cfg); err != nil {
+			return nil, fmt.Errorf("network: engine %q does not support topology %s: %w", eng.Name, topo.Name, err)
+		}
 	}
 	n := &Network{K: k, Topo: topo, Alg: tb, pool: &flit.PacketPool{}}
-	n.Routers = make([]*router.Router, topo.NumNodes())
+	n.Routers = make([]router.Engine, topo.NumNodes())
 	n.eps = make([][3]Endpoint, topo.NumNodes())
 	for id := 0; id < topo.NumNodes(); id++ {
-		n.Routers[id] = router.New(id, topo, tb, cfg, k)
+		n.Routers[id] = eng.New(id, topo, tb, cfg, k)
 		n.Routers[id].SetPool(n.pool)
 	}
 	for id := 0; id < topo.NumNodes(); id++ {

@@ -1,6 +1,6 @@
 package router
 
-// ring is the flit FIFO of one virtual channel: a circular buffer that
+// flitRing is the flit FIFO of one virtual channel: a circular buffer that
 // reuses its backing array across cycles instead of append-growing and
 // re-slicing like the previous []entry queues (which drifted through
 // their backing arrays and reallocated every few packets). Neighbor-fed
@@ -8,22 +8,22 @@ package router
 // slab-carved initial capacity is final; the unbounded injection VCs
 // grow geometrically and then stay at their high-water capacity for the
 // rest of the run — zero allocations per steady-state cycle.
-type ring struct {
+type flitRing struct {
 	buf  []entry
 	head int // index of the front entry
 	n    int // occupied entries
 }
 
 // len returns the number of buffered entries.
-func (r *ring) len() int { return r.n }
+func (r *flitRing) len() int { return r.n }
 
 // front returns the oldest entry. Call only when len() > 0.
-func (r *ring) front() *entry {
+func (r *flitRing) front() *entry {
 	return &r.buf[r.head]
 }
 
 // push appends an entry at the back, growing the buffer when full.
-func (r *ring) push(e entry) {
+func (r *flitRing) push(e entry) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
@@ -36,8 +36,8 @@ func (r *ring) push(e entry) {
 }
 
 // pop removes and returns the front entry, clearing the vacated slot so
-// the ring does not pin delivered packets for the garbage collector.
-func (r *ring) pop() entry {
+// the flitRing does not pin delivered packets for the garbage collector.
+func (r *flitRing) pop() entry {
 	e := r.buf[r.head]
 	r.buf[r.head] = entry{}
 	r.head++
@@ -49,7 +49,7 @@ func (r *ring) pop() entry {
 }
 
 // grow doubles the capacity, linearizing the contents to index 0.
-func (r *ring) grow() {
+func (r *flitRing) grow() {
 	cap := len(r.buf) * 2
 	if cap < 4 {
 		cap = 4

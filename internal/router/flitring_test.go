@@ -12,7 +12,7 @@ func seqEntry(i int) entry {
 }
 
 func TestRingFillDrain(t *testing.T) {
-	var r ring
+	var r flitRing
 	for n := 1; n <= 37; n++ {
 		for i := 0; i < n; i++ {
 			r.push(seqEntry(i))
@@ -39,7 +39,7 @@ func TestRingFillDrain(t *testing.T) {
 // slice the whole way.
 func TestRingWraparound(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	var r ring
+	var r flitRing
 	var model []int
 	next := 0
 	for step := 0; step < 20000; step++ {
@@ -68,7 +68,7 @@ func TestRingWraparound(t *testing.T) {
 // TestRingGrowPreservesOrder forces growth while the contents straddle
 // the wrap point, the case grow's linearization exists for.
 func TestRingGrowPreservesOrder(t *testing.T) {
-	var r ring
+	var r flitRing
 	// Fill to 4 (first growth quantum), drain 3, refill past capacity so
 	// the live window wraps and then grows.
 	for i := 0; i < 4; i++ {
@@ -90,7 +90,7 @@ func TestRingGrowPreservesOrder(t *testing.T) {
 // TestRingPopClearsSlot checks that pop zeroes the vacated slot so the
 // ring does not pin packet pointers for the garbage collector.
 func TestRingPopClearsSlot(t *testing.T) {
-	var r ring
+	var r flitRing
 	p := &flit.Packet{Kind: flit.ReadReq}
 	r.push(entry{f: flit.Flit{Pkt: p}})
 	head := r.head
@@ -104,7 +104,7 @@ func TestRingPopClearsSlot(t *testing.T) {
 // rings carved from one slab must not see each other's entries.
 func TestRingSlabCarvedCapacity(t *testing.T) {
 	slab := make([]entry, 8)
-	var a, b ring
+	var a, b flitRing
 	a.buf, slab = slab[:4:4], slab[4:]
 	b.buf = slab[:4:4]
 	for i := 0; i < 4; i++ {

@@ -1,4 +1,10 @@
-// Package router implements the paper's single-cycle multicasting wormhole
+// Package router holds the registry of router microarchitectures
+// (registry.go): pluggable Engine implementations the network layer
+// selects by name — the paper's VC wormhole router (this file, the
+// default), a bufferless deflection router (bufferless.go), and a
+// minimal two-entry-latch ring router (ringlite.go).
+//
+// The default engine is the paper's single-cycle multicasting wormhole
 // router (Section 3.1). Each physical channel (PC) holds several virtual
 // channels (VCs) of small flit buffers with credit-based flow control.
 // Lookahead routing, buffer bypassing, speculative switch allocation and
@@ -42,11 +48,30 @@ type Config struct {
 	// paper's single-cycle router; larger values model a conventional
 	// pipelined router for ablations.
 	Stages int
+	// Engine names the registered router microarchitecture ("vc-wormhole",
+	// "bufferless", "ring-lite", or any engine the embedding program
+	// registered). Empty selects DefaultEngine, so existing configs keep
+	// simulating the paper's wormhole router unchanged.
+	Engine string
 }
 
 // DefaultConfig returns the Table 1 router parameters.
 func DefaultConfig() Config {
 	return Config{VCsPerPC: 4, BufDepth: 4, Stages: 1}
+}
+
+func init() {
+	Register(Builder{
+		Name:        DefaultEngine,
+		Description: "credit-based VC wormhole router with hybrid multicast replication (Table 1)",
+		New: func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel) Engine {
+			return New(id, topo, tb, cfg, k)
+		},
+		BufferFlitsPerPort: func(cfg Config) int {
+			cfg = cfg.withDefaults()
+			return cfg.VCsPerPC * cfg.BufDepth
+		},
+	})
 }
 
 func (c Config) withDefaults() Config {
@@ -62,13 +87,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts router activity.
+// Stats counts router activity. Engines fill the counters that apply to
+// their microarchitecture: the wormhole router never deflects, the
+// bufferless router has no credits to stall on.
 type Stats struct {
 	FlitsRouted     uint64 // flits granted switch traversal
 	PacketsEjected  uint64
 	ReplicasSpawned uint64 // multicast flit copies placed into stolen VCs
 	ReplicaBlocked  uint64 // cycles a multicast flit stalled with no free VC
 	CreditStalls    uint64 // cycles the switch winner had no downstream credit
+	Deflections     uint64 // flits granted a non-productive port (bufferless misroutes)
 }
 
 // Merge adds o's counters into s. Commutative and associative, so
@@ -79,6 +107,7 @@ func (s *Stats) Merge(o Stats) {
 	s.ReplicasSpawned += o.ReplicasSpawned
 	s.ReplicaBlocked += o.ReplicaBlocked
 	s.CreditStalls += o.CreditStalls
+	s.Deflections += o.Deflections
 }
 
 // Clone returns an independent copy. Stats is a plain value today; Clone
@@ -98,7 +127,7 @@ type entry struct {
 type vcState struct {
 	port  int // input port index
 	idx   int // VC index within the port
-	q     ring
+	q     flitRing
 	route int // assigned output (port index, ejectOut) or unassigned
 	outVC int // downstream VC for neighbor routes
 	// Multicast replication state for the packet at the head.
@@ -205,13 +234,19 @@ func New(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Con
 
 // Wire connects this router's out-port p to neighbor n (entering n's
 // in-port np over a link of the given delay) and records the reverse
-// upstream reference for credit return.
-func (r *Router) Wire(p int, n *Router, np, delay int) {
-	r.neighbor[p] = n
+// upstream reference for credit return. The neighbor must be another
+// wormhole router: credits flow over dedicated wires between peer
+// instances, so a heterogeneous network is a wiring bug, not a mode.
+func (r *Router) Wire(p int, n Engine, np, delay int) {
+	nb, ok := n.(*Router)
+	if !ok {
+		panic(fmt.Sprintf("router: wormhole router %d wired to %T (engines cannot mix within one network)", r.ID, n))
+	}
+	r.neighbor[p] = nb
 	r.neighborIn[p] = np
 	r.linkDelay[p] = delay
-	n.upstream[np] = r
-	n.upstreamOP[np] = p
+	nb.upstream[np] = r
+	nb.upstreamOP[np] = p
 }
 
 // SetDeliver installs the local ejection callback.

@@ -175,6 +175,98 @@ func VerifyDeadlockFree(t *topology.Topology, alg Algorithm) error {
 	return nil
 }
 
+// VerifyDeflectionLivelockFree statically checks the livelock-freedom
+// argument for a deflection (bufferless) router running alg over t.
+// Deflection routers cannot deadlock — nothing ever waits on a buffer —
+// but they can livelock: a packet could be deflected away from its
+// destination forever. The classic BLESS argument rules this out when
+// two properties hold, and this function verifies both before a single
+// cycle is simulated:
+//
+//  1. Arbitration is age-monotone (declared by the engine): ports are
+//     allocated strictly oldest-packet-first. Then the globally oldest
+//     packet in the network is also the locally oldest wherever it is,
+//     so it always wins its productive port, advances one hop along its
+//     table route every cycle it moves, and ejects within the route
+//     length. Once it ejects, the next-oldest packet inherits the
+//     guarantee — induction on age bounds every packet's network time by
+//     (packets ahead of it) x (longest route). Engines whose arbiter is
+//     not age-monotone are rejected: a younger packet could displace the
+//     oldest indefinitely and the bound evaporates.
+//
+//  2. Productive routes are total: deflection can strand a packet at
+//     *any* node, not just the nodes on its intended route, so the table
+//     must supply a next hop over an existing link from every node to
+//     every protocol destination, and following those hops must reach
+//     the destination (no cyclic routes). Otherwise a deflected packet
+//     could reach a node with no productive direction and circulate
+//     forever.
+//
+// The destination set is the protocol traffic relation's (trafficPairs),
+// matching VerifyDeadlockFree's scope.
+func VerifyDeflectionLivelockFree(t *topology.Topology, alg Algorithm, ageMonotone bool) error {
+	if !ageMonotone {
+		return fmt.Errorf("routing: deflecting engine without an age-monotone arbiter: livelock-freedom is unprovable (a younger packet could displace the oldest forever)")
+	}
+	tb, err := Precompute(t, alg)
+	if err != nil {
+		return err
+	}
+	n := t.NumNodes()
+	isDst := make([]bool, n)
+	for _, pr := range trafficPairs(t) {
+		isDst[pr[1]] = true
+	}
+	// For each destination, follow the table's next-hop pointers from
+	// every node, memoizing nodes already proven to reach it.
+	const (
+		unknown = iota
+		visiting
+		reaches
+	)
+	state := make([]uint8, n)
+	path := make([]topology.NodeID, 0, n)
+	for dst := 0; dst < n; dst++ {
+		if !isDst[dst] {
+			continue
+		}
+		for i := range state {
+			state[i] = unknown
+		}
+		state[dst] = reaches
+		for cur := 0; cur < n; cur++ {
+			if state[cur] != unknown {
+				continue
+			}
+			path = path[:0]
+			v := cur
+			for state[v] == unknown {
+				state[v] = visiting
+				path = append(path, v)
+				p, ok := tb.NextPort(t, v, dst)
+				if !ok {
+					return fmt.Errorf("routing: %s has no productive route from node %d to %d: a deflected packet stranded at %d could never make progress",
+						tb.Name(), v, dst, v)
+				}
+				l, ok := t.Link(v, p)
+				if !ok {
+					return fmt.Errorf("routing: %s routes %d->%d over missing link (node %d port %d)",
+						tb.Name(), v, dst, v, p)
+				}
+				v = l.To
+			}
+			if state[v] == visiting {
+				return fmt.Errorf("routing: %s route to %d loops through node %d without arriving (cyclic route)",
+					tb.Name(), dst, v)
+			}
+			for _, u := range path {
+				state[u] = reaches
+			}
+		}
+	}
+	return nil
+}
+
 // baseOf unwraps a precomputed table to the algorithm it was built from.
 func baseOf(alg Algorithm) Algorithm {
 	if tb, ok := alg.(*Table); ok {

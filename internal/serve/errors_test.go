@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"nucanet/internal/cache"
+	"nucanet/internal/router"
 )
 
 // TestRunErrorsAreStructured enumerates every invalid-field case of the
@@ -34,6 +35,7 @@ func TestRunErrorsAreStructured(t *testing.T) {
 		{"unknown design", `{"design":"Z"}`, 400, "design", `unknown design "Z"`},
 		{"unknown policy", `{"policy":"mru"}`, 400, "policy", `unknown policy "mru"`},
 		{"unknown mode", `{"mode":"broadcast"}`, 400, "mode", `unknown mode "broadcast"`},
+		{"unknown router", `{"router":"optical"}`, 400, "router", `unknown router "optical"`},
 		{"unknown benchmark", `{"benchmark":"linpack"}`, 400, "benchmark", `unknown benchmark "linpack"`},
 		{"negative accesses", `{"accesses":-5}`, 400, "accesses", "must be positive"},
 		{"excessive accesses", `{"accesses":5000000}`, 400, "accesses", "at most 1000"},
@@ -74,7 +76,7 @@ func TestRunErrorsAreStructured(t *testing.T) {
 func assertNoInternalLeak(t *testing.T, body string) {
 	t.Helper()
 	for _, leak := range []string{
-		"config:", "core:", "cache:", "routing:", "topology:", "trace:",
+		"config:", "core:", "cache:", "routing:", "router:", "topology:", "trace:",
 		"nucanet/", "internal/", ".go:", "%!",
 	} {
 		if strings.Contains(body, leak) {
@@ -98,6 +100,12 @@ func TestRunErrorMessagesNameTheCatalogue(t *testing.T) {
 	for _, p := range cache.PolicyNames() {
 		if !strings.Contains(string(body), p) {
 			t.Fatalf("policy rejection does not list %s: %s", p, body)
+		}
+	}
+	_, body = postRun(t, ts, `{"router":"optical"}`)
+	for _, name := range router.Names() {
+		if !strings.Contains(string(body), name) {
+			t.Fatalf("router rejection does not list %s: %s", name, body)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"nucanet/internal/cache"
 	"nucanet/internal/config"
 	"nucanet/internal/core"
+	"nucanet/internal/router"
 	"nucanet/internal/stats"
 	"nucanet/internal/telemetry"
 	"nucanet/internal/trace"
@@ -19,6 +20,7 @@ type RunRequest struct {
 	Design    string            `json:"design,omitempty"`
 	Policy    string            `json:"policy,omitempty"`
 	Mode      string            `json:"mode,omitempty"`
+	Router    string            `json:"router,omitempty"`
 	Benchmark string            `json:"benchmark,omitempty"`
 	Accesses  int               `json:"accesses,omitempty"`
 	Seed      *uint64           `json:"seed,omitempty"`
@@ -71,6 +73,13 @@ func (r RunRequest) options(maxAccesses int) (core.Options, *apiError) {
 		}
 		o.Mode = m
 	}
+	if r.Router != "" {
+		if _, err := router.ByName(r.Router); err != nil {
+			return o, badField("router", "unknown router %q; known routers: %s",
+				r.Router, strings.Join(router.Names(), ", "))
+		}
+		o.Router = r.Router
+	}
 	if r.Benchmark != "" {
 		if _, err := trace.ProfileByName(r.Benchmark); err != nil {
 			return o, badField("benchmark", "unknown benchmark %q; known benchmarks: %s",
@@ -117,6 +126,7 @@ type RunResponse struct {
 	ConfigHash string `json:"config_hash"`
 	Design     string `json:"design"`
 	Topology   string `json:"topology"`
+	Router     string `json:"router"`
 	Policy     string `json:"policy"`
 	Mode       string `json:"mode"`
 	Benchmark  string `json:"benchmark"`
@@ -171,6 +181,7 @@ func buildResponse(key string, res core.Result) ([]byte, error) {
 		ConfigHash: key,
 		Design:     res.Design.ID,
 		Topology:   res.Design.Topology,
+		Router:     res.Design.Router.Engine,
 		Policy:     res.Options.Policy.String(),
 		Mode:       res.Options.Mode.String(),
 		Benchmark:  res.Options.Benchmark,

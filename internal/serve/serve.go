@@ -35,6 +35,7 @@ import (
 	"nucanet/internal/cache"
 	"nucanet/internal/config"
 	"nucanet/internal/core"
+	"nucanet/internal/router"
 	"nucanet/internal/routing"
 	"nucanet/internal/trace"
 )
@@ -122,6 +123,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("GET /v1/routings", s.handleRoutings)
+	mux.HandleFunc("GET /v1/routers", s.handleRouters)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -322,6 +324,31 @@ func (s *Server) handleRoutings(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Routings []string `json:"routings"`
 	}{routing.AlgorithmNames()})
+}
+
+// RouterInfo is one /v1/routers row.
+type RouterInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Deflecting  bool   `json:"deflecting"`
+	Default     bool   `json:"default"`
+}
+
+func (s *Server) handleRouters(w http.ResponseWriter, r *http.Request) {
+	var out []RouterInfo
+	for _, name := range router.Names() {
+		b, err := router.ByName(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, RouterInfo{
+			Name: name, Description: b.Description,
+			Deflecting: b.Deflecting, Default: name == router.DefaultEngine,
+		})
+	}
+	writeJSON(w, struct {
+		Routers []RouterInfo `json:"routers"`
+	}{out})
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {

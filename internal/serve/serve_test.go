@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"nucanet/internal/cache"
+	"nucanet/internal/router"
 	"nucanet/internal/routing"
 	"nucanet/internal/trace"
 )
@@ -64,6 +65,24 @@ func TestCatalogueEndpoints(t *testing.T) {
 	getJSON(t, ts, "/v1/routings", &rs)
 	if !reflect.DeepEqual(rs.Routings, routing.AlgorithmNames()) {
 		t.Errorf("/v1/routings = %v, want registry %v", rs.Routings, routing.AlgorithmNames())
+	}
+
+	var rts struct {
+		Routers []RouterInfo `json:"routers"`
+	}
+	getJSON(t, ts, "/v1/routers", &rts)
+	var names []string
+	for _, r := range rts.Routers {
+		names = append(names, r.Name)
+		if r.Default != (r.Name == router.DefaultEngine) {
+			t.Errorf("/v1/routers: %s default flag = %v", r.Name, r.Default)
+		}
+		if r.Description == "" {
+			t.Errorf("/v1/routers: %s has empty description", r.Name)
+		}
+	}
+	if !reflect.DeepEqual(names, router.Names()) {
+		t.Errorf("/v1/routers = %v, want registry %v", names, router.Names())
 	}
 
 	var bs struct {
