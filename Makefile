@@ -1,16 +1,17 @@
 # Tier-1 verification is `make test`; `make check` is the CI gate: gofmt,
 # vet, the race detector over the short-mode subset (which includes the
 # engine's determinism regressions) plus full race passes over the
-# graph/routing, cache-protocol, and serving layers, the protocol
-# conformance matrix, a one-iteration smoke pass over every benchmark
-# target, a telemetry smoke run with every probe on, and an end-to-end
-# nucad/nucaload serving smoke that requires cache hits.
+# graph/routing, cache-protocol, fleet/placement, and serving layers, the
+# protocol conformance matrix, a one-iteration smoke pass over every
+# benchmark target, a telemetry smoke run with every probe on, a
+# deterministic placement-search smoke, and an end-to-end nucad/nucaload
+# serving smoke that requires cache hits.
 
 GO ?= go
 BENCH_COUNT ?= 3
 BENCH_LABEL ?= after
 
-.PHONY: build test check fmt vet race racegraph racecache racerouter serverace conformance bench benchsmoke smoke pareto-smoke serve-smoke verify clean
+.PHONY: build test check fmt vet race racegraph racecache racerouter racefleet serverace conformance bench benchsmoke smoke pareto-smoke opt-smoke serve-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -53,6 +54,13 @@ racecache:
 racerouter:
 	$(GO) test -race ./internal/router/ ./internal/network/
 
+# Full (non-short) race pass over the fleet evaluator and the placement
+# optimizer built on it: stripes run on concurrent workers sharing the
+# immutable prepared artifacts, and the bit-identity tests compare the
+# lockstep path against the sequential reference under the detector.
+racefleet:
+	$(GO) test -race ./internal/fleet/ ./internal/place/
+
 # Full (non-short) race pass over the serving layer (and the canonical
 # hashing it keys on): the scheduler, the result cache, and the
 # coalescing map are the only cross-goroutine state the daemon has, and
@@ -90,6 +98,11 @@ bench:
 		| tee /tmp/nucanet-bench-serve-$(BENCH_LABEL).txt
 	$(GO) run ./cmd/benchjson -o BENCH_serve.json -label $(BENCH_LABEL) \
 		< /tmp/nucanet-bench-serve-$(BENCH_LABEL).txt
+	$(GO) test -run=NONE -benchmem -count=$(BENCH_COUNT) \
+		-bench='BenchmarkFleetStep' ./internal/fleet/ \
+		| tee /tmp/nucanet-bench-fleet-$(BENCH_LABEL).txt
+	$(GO) run ./cmd/benchjson -o BENCH_fleet.json -label $(BENCH_LABEL) \
+		< /tmp/nucanet-bench-fleet-$(BENCH_LABEL).txt
 
 # Tiny end-to-end run with every telemetry probe on: trace, heatmap,
 # time series, at j=2 — exercises the full probe plumbing through the
@@ -107,6 +120,25 @@ smoke:
 pareto-smoke:
 	$(GO) run ./cmd/paperbench -exp pareto -n 400 >/dev/null
 	@echo "pareto smoke: ok"
+
+# Tiny-budget placement search, twice with the same seed: both runs must
+# land on the same best candidate (the final line carries its canonical
+# encoding and hash), pinning the optimizer's end-to-end determinism —
+# annealing schedule, safety gating, area gating, fleet scoring — through
+# the real CLI.
+opt-smoke:
+	$(GO) build -o /tmp/nucaopt-smoke ./cmd/nucaopt
+	@/tmp/nucaopt-smoke -budget 6 -wave 4 -screen 60 -confirm 150 -q \
+		| sed 's/ (wall [0-9.]*s)//' > /tmp/nucaopt-smoke-1.txt
+	@/tmp/nucaopt-smoke -budget 6 -wave 4 -screen 60 -confirm 150 -q \
+		| sed 's/ (wall [0-9.]*s)//' > /tmp/nucaopt-smoke-2.txt
+	@diff /tmp/nucaopt-smoke-1.txt /tmp/nucaopt-smoke-2.txt || \
+		{ echo "opt smoke: same seed produced different searches"; exit 1; }
+	@grep -q '^best: ' /tmp/nucaopt-smoke-1.txt || \
+		{ echo "opt smoke: no best-candidate line"; cat /tmp/nucaopt-smoke-1.txt; exit 1; }
+	@grep '^best: ' /tmp/nucaopt-smoke-1.txt
+	@rm -f /tmp/nucaopt-smoke /tmp/nucaopt-smoke-1.txt /tmp/nucaopt-smoke-2.txt
+	@echo "opt smoke: ok"
 
 # End-to-end serving smoke: build the daemon and the load driver, boot
 # the daemon on an ephemeral port, fire a short mixed load at it, and
@@ -135,7 +167,7 @@ verify:
 	$(GO) run ./cmd/nucasim -verify-routing
 	$(GO) run ./cmd/nucasim -router bufferless -verify-routing
 
-check: fmt vet race racegraph racecache racerouter serverace conformance benchsmoke smoke pareto-smoke serve-smoke verify
+check: fmt vet race racegraph racecache racerouter racefleet serverace conformance benchsmoke smoke pareto-smoke opt-smoke serve-smoke verify
 
 clean:
 	$(GO) clean ./...

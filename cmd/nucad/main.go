@@ -12,6 +12,7 @@
 //	GET  /v1/routings    registered routing algorithms
 //	GET  /v1/routers     registered router microarchitectures
 //	GET  /v1/benchmarks  Table 2 workload profiles
+//	GET  /v1/experiments registered experiment catalogue (paperbench -exp)
 //	GET  /v1/stats       cache/queue/aggregate counters
 //	GET  /v1/healthz     ok, or draining during shutdown
 //
@@ -31,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	_ "nucanet/internal/place" // registers the "placement" experiment in the catalogue
 	"nucanet/internal/serve"
 )
 

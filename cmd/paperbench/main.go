@@ -3,11 +3,22 @@
 //
 // Usage:
 //
+//	paperbench -list             # catalogue of registered experiments
 //	paperbench -exp all          # everything (several minutes)
 //	paperbench -exp f9 -n 4000   # one experiment, smaller runs
 //	paperbench -exp f9 -j 8      # fan the sweep out to 8 workers
+//	paperbench -exp pareto -fleet        # sweep on the lockstep fleet evaluator
 //	paperbench -exp telemetry -heatmap -sample 200
 //	paperbench -exp f9 -policy static    # any registered policy name
+//
+// Experiments dispatch through the core experiment registry
+// (core.RegisterExperiment): every name -exp accepts, this command's
+// -list output, and nucad's GET /v1/experiments derive from the same
+// catalogue, so a newly registered experiment is reachable everywhere
+// with no flag plumbing. "-exp all" runs the registered experiments
+// that opt into the full reproduction (the paper's tables and figures);
+// special-purpose experiments (telemetry, placement) run only when
+// named.
 //
 // -policy and -mode steer the single-scheme experiments (f9, energy,
 // power, telemetry); names resolve through the cache policy registry, so
@@ -15,13 +26,8 @@
 // fixed-scheme reproductions (t1-t4, f7, f8, headline) ignore them.
 // -router overrides the router microarchitecture of every simulated run;
 // it resolves through the router registry (-list-routers on nucasim).
-//
-// Experiments: t1 t2 t3 t4 f7 f8 f9 headline energy power pareto telemetry all
-//
-// The pareto experiment crosses every registered router engine with the
-// mesh, simplified-mesh, halo, and ring designs and both multicast
-// schemes, prints each point's area, latency, and energy, and marks the
-// configurations on the cost/performance frontier (see EXPERIMENTS.md).
+// -bench selects the benchmark of the single-benchmark experiments
+// (energy, power, pareto, telemetry, placement).
 //
 // The telemetry section compares designs A, D, and F side by side on one
 // benchmark with cycle-level probes: -heatmap prints ASCII link/bank
@@ -37,25 +43,33 @@ import (
 	"os"
 	"strings"
 
-	"nucanet/internal/bank"
 	"nucanet/internal/cliutil"
-	"nucanet/internal/config"
 	"nucanet/internal/core"
-	"nucanet/internal/mem"
-	"nucanet/internal/telemetry"
+	_ "nucanet/internal/place" // registers the "placement" experiment and the fleet bulk runner
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: t1 t2 t3 t4 f7 f8 f9 headline energy power pareto telemetry all")
-		n      = flag.Int("n", 8000, "measured L2 accesses per run")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		jobs   = cliutil.Jobs(flag.CommandLine)
-		tflags = cliutil.Telemetry(flag.CommandLine)
+		exp      = flag.String("exp", "all", "experiment name (see -list), or all")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+		n        = flag.Int("n", 8000, "measured L2 accesses per run")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		bench    = flag.String("bench", "", "benchmark for the single-benchmark experiments (default gcc)")
+		useFleet = flag.Bool("fleet", false, "evaluate sweeps on the bulk-synchronous fleet instead of per-run goroutines")
+		jobs     = cliutil.Jobs(flag.CommandLine)
+		tflags   = cliutil.Telemetry(flag.CommandLine)
 	)
 	routerName := cliutil.Router(flag.CommandLine)
 	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
+	if *list {
+		for _, name := range core.ExperimentNames() {
+			e, err := core.ExperimentByName(name)
+			fatal(err)
+			fmt.Printf("  %-10s %s\n", e.Name, e.About)
+		}
+		return
+	}
 	workers, err := cliutil.ResolveJobs(*jobs)
 	fatal(err)
 	// The scheme flags steer the single-scheme experiments (f9, energy,
@@ -65,43 +79,55 @@ func main() {
 	cfg := core.ExpConfig{
 		Accesses: *n, Seed: *seed, Workers: workers,
 		PolicyName: policy.String(), ModeName: mode.String(),
-		RouterName: *routerName,
+		RouterName: *routerName, Bench: *bench,
+		Telemetry: tflags.Config(), Fleet: *useFleet,
 	}
-	traceOut := tflags.TracePath
-	tcfg := tflags.Config()
-
-	run := map[string]func(core.ExpConfig){
-		"t1": func(core.ExpConfig) { table1() },
-		"t2": func(c core.ExpConfig) { table2(c) },
-		"t3": func(core.ExpConfig) { table3() },
-		"t4": func(core.ExpConfig) { table4() },
-		"f7": fig7, "f8": fig8, "f9": fig9,
-		"headline":  headline,
-		"energy":    energyExp,
-		"power":     powerExp,
-		"pareto":    paretoExp,
-		"telemetry": func(c core.ExpConfig) { telemetryExp(c, tcfg, *traceOut) },
-	}
-	order := []string{"t1", "t2", "t3", "t4", "f7", "f8", "f9", "headline", "energy", "power", "pareto"}
+	traceOut := *tflags.TracePath
 
 	if *exp == "all" {
-		for _, e := range order {
-			run[e](cfg)
+		for _, name := range core.ExperimentNames() {
+			e, err := core.ExperimentByName(name)
+			fatal(err)
+			if e.InAll {
+				runExperiment(e, cfg, traceOut)
+			}
 		}
-		if tcfg.Enabled() {
-			telemetryExp(cfg, tcfg, *traceOut)
+		if cfg.Telemetry.Enabled() {
+			runNamed("telemetry", cfg, traceOut)
 		}
 		return
 	}
-	f, ok := run[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (want %s, telemetry, or all)\n",
-			*exp, strings.Join(order, " "))
+	e, err := core.ExperimentByName(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (want %s, or all)\n",
+			*exp, strings.Join(core.ExperimentNames(), " "))
 		os.Exit(1)
 	}
-	f(cfg)
-	if tcfg.Enabled() && *exp != "telemetry" {
-		telemetryExp(cfg, tcfg, *traceOut)
+	runExperiment(e, cfg, traceOut)
+	if cfg.Telemetry.Enabled() && *exp != "telemetry" {
+		runNamed("telemetry", cfg, traceOut)
+	}
+}
+
+func runNamed(name string, cfg core.ExpConfig, traceOut string) {
+	e, err := core.ExperimentByName(name)
+	fatal(err)
+	runExperiment(e, cfg, traceOut)
+}
+
+// runExperiment prints one experiment: header, rendered rows, optional
+// trace export (telemetry only), and the sweep accounting line when the
+// experiment drove the simulation engine.
+func runExperiment(e core.Experiment, cfg core.ExpConfig, traceOut string) {
+	header(e.Title(cfg))
+	rows, rep, err := e.Run(cfg)
+	fatal(err)
+	rows.Render(os.Stdout)
+	if runs, ok := rows.(core.TelemetryRows); ok && traceOut != "" {
+		fatal(writeTelemetryTraces(traceOut, runs, cfg))
+	}
+	if rep.Runs > 0 {
+		sweepLine(rep)
 	}
 }
 
@@ -109,298 +135,9 @@ func header(s string) {
 	fmt.Printf("\n=== %s ===\n", s)
 }
 
-func table1() {
-	header("Table 1: system parameters")
-	fmt.Println("memory: block 64B; latency 130 cycles + 4 cycles per 8B (pipelined)")
-	fmt.Println("router: 4-flit buffers, 4 VCs per PC, 128-bit flits, 1 cycle per stage")
-	fmt.Println("bank size    wire delay   tag only   tag+replacement")
-	for _, kb := range []int{64, 128, 256, 512} {
-		l := bank.LatencyFor(kb)
-		fmt.Printf("  %4d KB     %d cycle(s)   %d cycles   %d cycles\n",
-			kb, l.Wire, l.TagOnly, l.TagRepl)
-	}
-	c := mem.DefaultConfig()
-	fmt.Printf("derived: 64B block read = %d cycles at the pins\n", c.ReadLatency())
-}
-
-func table2(cfg core.ExpConfig) {
-	header("Table 2: benchmarks (profile vs generator self-check)")
-	fmt.Println("name     instr   perfIPC  reads(M) writes(M)  acc/instr | gen acc/instr  gen wr%   gen hit% (16-way LRU)")
-	for _, row := range core.Table2Check(40000, cfg.Seed) {
-		p := row.Profile
-		fmt.Printf("%-8s %5.2gB  %5.2f   %8.3f %8.3f   %8.3f | %12.4f  %6.1f%%  %6.1f%%\n",
-			p.Name, float64(p.InstrTotal)/1e9, p.PerfectIPC, p.ReadsM, p.WritesM,
-			p.AccPerInstr, row.GenAccPerInst, 100*row.GenWriteFrac, 100*row.GenHitRate16)
-	}
-}
-
-func table3() {
-	header("Table 3: network designs")
-	for _, d := range config.Designs() {
-		fmt.Printf("  %s: %-55s banks/column: %v\n", d.ID, d.Description, d.Banks)
-	}
-}
-
-func table4() {
-	header("Table 4: area analysis (cacti-lite model)")
-	fmt.Println("design   bank%   router%   link%     L2 mm2    chip mm2")
-	reps, err := core.Table4()
-	fatal(err)
-	for _, r := range reps {
-		fmt.Printf("  %s     %5.1f     %5.1f   %5.1f   %8.2f   %9.2f\n",
-			r.DesignID, r.BankPct(), r.RouterPct(), r.LinkPct(), r.L2MM2(), r.ChipMM2)
-	}
-	fmt.Println("paper:  A 47.8/20.8/31.4 567.70/567.70 | B 58.4/13.0/28.6 464.60/521.99")
-	fmt.Println("        E 67.5/14.1/18.4 402.30/1602.22 | F 78.7/5.7/15.7 312.19/517.61")
-}
-
-func fig7(cfg core.ExpConfig) {
-	header("Figure 7: L2 access latency split, unicast LRU, Design A")
-	rows, rep, err := core.Fig7(cfg)
-	fatal(err)
-	fmt.Println("benchmark   bank%   network%   memory%     p50     p99")
-	var b, nw, m float64
-	for _, r := range rows {
-		fmt.Printf("  %-9s %5.1f      %5.1f     %5.1f   %5d   %5d\n",
-			r.Benchmark, r.BankPct, r.NetPct, r.MemPct, r.P50, r.P99)
-		b += r.BankPct
-		nw += r.NetPct
-		m += r.MemPct
-	}
-	k := float64(len(rows))
-	fmt.Printf("  %-9s %5.1f      %5.1f     %5.1f   (paper avg: 25 / 65 / 10)\n",
-		"avg", b/k, nw/k, m/k)
-	sweepLine(rep)
-}
-
-func fig8(cfg core.ExpConfig) {
-	header("Figure 8: access latency by scheme, Design A")
-	cells, rep, err := core.Fig8(cfg)
-	fatal(err)
-	fmt.Println("(a) average / (b) hit / (c) miss latency in cycles; IPC")
-	fmt.Printf("%-9s", "benchmark")
-	for _, s := range core.Fig8Schemes() {
-		fmt.Printf(" | %-19s", s.Name)
-	}
-	fmt.Println()
-	byBench := map[string][]core.Fig8Cell{}
-	var names []string
-	for _, c := range cells {
-		if len(byBench[c.Benchmark]) == 0 {
-			names = append(names, c.Benchmark)
-		}
-		byBench[c.Benchmark] = append(byBench[c.Benchmark], c)
-	}
-	for _, b := range names {
-		fmt.Printf("%-9s", b)
-		for _, c := range byBench[b] {
-			fmt.Printf(" | %5.1f %5.1f %6.1f", c.AvgLat, c.HitLat, c.MissLat)
-		}
-		fmt.Println()
-	}
-	// Summary ratios the paper quotes. Two readings: the CPU-visible
-	// access latency (request -> data) and the column occupancy
-	// (request -> replacement complete); the paper's hop-count examples
-	// (Fig. 2: 21 vs 12 hops) count the full occupancy, which is where
-	// Fast-LRU's structural win lives at any load level.
-	avgOf := func(scheme string, occ bool) float64 {
-		var s float64
-		for _, cs := range byBench {
-			for _, c := range cs {
-				if c.Scheme == scheme {
-					if occ {
-						s += c.OccLat
-					} else {
-						s += c.AvgLat
-					}
-				}
-			}
-		}
-		return s / float64(len(byBench))
-	}
-	uLRU, uFast := avgOf("unicast+LRU", false), avgOf("unicast+fastLRU", false)
-	mPromo, mFast := avgOf("multicast+promotion", false), avgOf("multicast+fastLRU", false)
-	uLRUo, uFasto := avgOf("unicast+LRU", true), avgOf("unicast+fastLRU", true)
-	mFasto := avgOf("multicast+fastLRU", true)
-	fmt.Printf("\naccess latency (request->data):\n")
-	fmt.Printf("  multicast fastLRU vs unicast LRU:       %+.1f%%\n", 100*(mFast-uLRU)/uLRU)
-	fmt.Printf("  multicast fastLRU vs multicast promo:   %+.1f%%\n", 100*(mFast-mPromo)/mPromo)
-	fmt.Printf("  unicast fastLRU vs unicast LRU:         %+.1f%%\n", 100*(uFast-uLRU)/uLRU)
-	fmt.Printf("column occupancy (request->replacement done; the paper's hop metric):\n")
-	fmt.Printf("  multicast fastLRU vs unicast LRU:       %+.1f%% (paper -46%%)\n", 100*(mFasto-uLRUo)/uLRUo)
-	fmt.Printf("  unicast fastLRU vs unicast LRU:         %+.1f%% (paper -30%%)\n",
-		100*(uFasto-uLRUo)/uLRUo)
-	sweepLine(rep)
-}
-
-// schemeLabel names the scheme a single-scheme experiment actually ran
-// under (the -policy/-mode override, or the paper default).
-func schemeLabel(cfg core.ExpConfig) string {
-	p, m := cfg.PolicyName, cfg.ModeName
-	if p == "" {
-		p = "fastLRU"
-	}
-	if m == "" {
-		m = "multicast"
-	}
-	return m + "+" + p
-}
-
-func fig9(cfg core.ExpConfig) {
-	header("Figure 9: normalized IPC by design, " + schemeLabel(cfg))
-	cells, rep, err := core.Fig9(cfg)
-	fatal(err)
-	fmt.Printf("%-9s", "benchmark")
-	for _, d := range config.Designs() {
-		fmt.Printf("   %s  ", d.ID)
-	}
-	fmt.Println()
-	sums := map[string]float64{}
-	p50s := map[string]int64{}
-	p99s := map[string]int64{}
-	count := 0
-	var cur string
-	for _, c := range cells {
-		if c.Benchmark != cur {
-			if cur != "" {
-				fmt.Println()
-			}
-			fmt.Printf("%-9s", c.Benchmark)
-			cur = c.Benchmark
-			count++
-		}
-		fmt.Printf(" %5.3f", c.NormalizedIPC)
-		sums[c.DesignID] += c.NormalizedIPC
-		p50s[c.DesignID] += c.P50
-		p99s[c.DesignID] += c.P99
-	}
-	fmt.Println()
-	fmt.Printf("%-9s", "avg")
-	for _, d := range config.Designs() {
-		fmt.Printf(" %5.3f", sums[d.ID]/float64(count))
-	}
-	fmt.Println("\n(paper avgs: A 1.00, B ~1.00, C 0.86, D 0.88, E 1.12, F 1.13)")
-	// Tail view: per-design access-latency percentiles averaged over the
-	// benchmarks (mean of the per-run percentile estimates, not the
-	// percentile of a pooled distribution).
-	k := int64(count)
-	fmt.Printf("%-9s", "p50 avg")
-	for _, d := range config.Designs() {
-		fmt.Printf(" %5d", p50s[d.ID]/k)
-	}
-	fmt.Println()
-	fmt.Printf("%-9s", "p99 avg")
-	for _, d := range config.Designs() {
-		fmt.Printf(" %5d", p99s[d.ID]/k)
-	}
-	fmt.Println()
-	sweepLine(rep)
-}
-
-func headline(cfg core.ExpConfig) {
-	header("Headline claims (abstract)")
-	h, rep, err := core.ComputeHeadline(cfg)
-	fatal(err)
-	fmt.Printf("halo+fastLRU IPC vs mesh+multicast-promotion: %+.1f%%  (paper +38%%)\n",
-		100*(h.IPCGainVsMeshPromotion-1))
-	fmt.Printf("multicast fastLRU IPC vs multicast promotion: %+.1f%%  (paper +20%%)\n",
-		100*(h.FastLRUIPCGain-1))
-	fmt.Printf("halo (F) IPC vs mesh (A), same policy:        %+.1f%%  (paper +18%%/+13%%)\n",
-		100*(h.HaloIPCGain-1))
-	fmt.Printf("interconnect area, F as a share of A:          %.1f%%  (paper 23%%)\n",
-		100*h.InterconnectAreaRatio)
-	sweepLine(rep)
-}
-
-func energyExp(cfg core.ExpConfig) {
-	header("Energy comparison (extension: the paper's stated future work)")
-	cells, rep, err := core.EnergyComparison(cfg, "gcc")
-	fatal(err)
-	fmt.Printf("design    nJ/access   network%%   banks%%   memory%%     IPC   (gcc, %s)\n", schemeLabel(cfg))
-	for _, c := range cells {
-		r := c.Report
-		fmt.Printf("  %s       %7.2f      %5.1f    %5.1f     %5.1f   %5.3f\n",
-			c.DesignID, r.PerAccessNJ(), 100*r.NetworkShare(),
-			100*r.BankPJ/r.TotalPJ(), 100*r.MemoryPJ/r.TotalPJ(), c.IPC)
-	}
-	sweepLine(rep)
-}
-
-func powerExp(cfg core.ExpConfig) {
-	header("Power-gating sweep (extension: the paper's on-demand power control)")
-	cells, rep, err := core.PowerGatingSweep(cfg, "gcc")
-	fatal(err)
-	fmt.Println("ways on   capacity   hit rate     IPC   nJ/access   (gcc, Design A columns gated from the far end)")
-	for _, c := range cells {
-		fmt.Printf("   %2d      %5d KB    %5.1f%%   %5.3f     %7.2f\n",
-			c.WaysOn, c.CapacityKB, 100*c.HitRate, c.IPC, c.Energy.PerAccessNJ())
-	}
-	sweepLine(rep)
-}
-
-// paretoExp prints the router-microarchitecture sweep: every registered
-// engine crossed with the mesh (A), simplified mesh (D), halo (F), and
-// ring (R) designs under both multicast schemes, each point priced by the
-// area model and measured by simulation. A '*' marks the
-// area/latency/energy frontier; combinations an engine rejects print the
-// reason instead of numbers.
-func paretoExp(cfg core.ExpConfig) {
-	header("Pareto sweep: router engine x design x scheme (gcc)")
-	pts, rep, err := core.ParetoSweep(cfg, "gcc")
-	fatal(err)
-	fmt.Println("   router        design  scheme                 L2 mm2   net mm2   avg lat   nJ/acc     IPC")
-	for _, p := range pts {
-		if p.Skipped != "" {
-			fmt.Printf("   %-13s %-7s %-21s skipped: %s\n", p.RouterName, p.DesignID, p.Scheme, p.Skipped)
-			continue
-		}
-		mark := " "
-		if p.Frontier {
-			mark = "*"
-		}
-		fmt.Printf(" %s %-13s %-7s %-21s %7.1f   %7.2f   %7.1f   %6.2f   %5.3f\n",
-			mark, p.RouterName, p.DesignID, p.Scheme,
-			p.AreaMM2, p.NetMM2, p.AvgLat, p.EnergyNJ, p.IPC)
-	}
-	fmt.Println("('*' = on the area/latency/energy frontier: no point is better on all three axes)")
-	sweepLine(rep)
-}
-
-// telemetryExp runs the cycle-level probe comparison: designs A (mesh),
-// D (simplified mesh), F (halo) side by side on gcc under multicast
-// Fast-LRU, printing whatever probes the flags selected. Invoked with no
-// probe flags (-exp telemetry alone) it defaults to heatmaps plus a
-// 200-cycle time series.
-func telemetryExp(cfg core.ExpConfig, tcfg telemetry.Config, traceOut string) {
-	header("Telemetry: spatial and temporal view, designs A / D / F on gcc, " + schemeLabel(cfg))
-	if !tcfg.Enabled() {
-		tcfg = telemetry.Config{Heatmap: true, SampleEvery: 200}
-	}
-	runs, rep, err := core.TelemetryCompare(cfg, "gcc", tcfg)
-	fatal(err)
-	for _, tr := range runs {
-		r := tr.Result
-		fmt.Printf("-- design %s: IPC %.4f, avg latency %.1f, p50 %d, p99 %d, max %d\n",
-			tr.DesignID, r.IPC, r.AvgLatency,
-			r.Latency.Percentile(0.50), r.Latency.Percentile(0.99), r.Latency.MaxLat)
-		if tel := r.Telemetry; tel != nil {
-			if tel.Heat != nil {
-				tel.Heat.Render(os.Stdout)
-			}
-			if tel.Series != nil {
-				tel.Series.Render(os.Stdout)
-			}
-		}
-	}
-	if traceOut != "" {
-		fatal(writeTelemetryTraces(traceOut, runs))
-	}
-	sweepLine(rep)
-}
-
 // writeTelemetryTraces serializes the comparison's event traces as one
 // JSONL stream in design order, each run led by a {"ev":"run"} meta line.
-func writeTelemetryTraces(path string, runs []core.TelemetryRun) error {
+func writeTelemetryTraces(path string, runs core.TelemetryRows, cfg core.ExpConfig) error {
 	var w io.Writer = os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -410,13 +147,17 @@ func writeTelemetryTraces(path string, runs []core.TelemetryRun) error {
 		defer f.Close()
 		w = f
 	}
+	bench := cfg.Bench
+	if bench == "" {
+		bench = "gcc"
+	}
 	for _, tr := range runs {
 		tel := tr.Result.Telemetry
 		if tel == nil || tel.Trace == nil {
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "{\"ev\":\"run\",\"design\":%q,\"bench\":\"gcc\",\"seed\":%d,\"events\":%d}\n",
-			tr.DesignID, tr.Result.Options.Seed, tel.Trace.Len()); err != nil {
+		if _, err := fmt.Fprintf(w, "{\"ev\":\"run\",\"design\":%q,\"bench\":%q,\"seed\":%d,\"events\":%d}\n",
+			tr.DesignID, bench, tr.Result.Options.Seed, tel.Trace.Len()); err != nil {
 			return err
 		}
 		if err := tel.Trace.WriteJSONL(w); err != nil {

@@ -9,7 +9,42 @@
 // bank so a bank set always stacks into a 16-way set.
 package bank
 
-import "fmt"
+import (
+	"fmt"
+
+	"nucanet/internal/slab"
+)
+
+// Arena carves bank construction state — the frame slab and the set
+// headers, a lane's two largest construction allocations — from
+// recyclable chunks (see internal/slab). A nil *Arena falls back to
+// plain allocation. Single-goroutine, like every slab arena; batch
+// construction reaches it through router.Arena.Banks.
+type Arena struct {
+	blocks slab.Chunk[Block]
+	sets   slab.Chunk[frameSet]
+}
+
+// Reset recycles the arena's memory; see slab.Chunk.Reset for the
+// aliasing contract.
+func (a *Arena) Reset() {
+	a.blocks.Reset()
+	a.sets.Reset()
+}
+
+func (a *Arena) blockSlab(n int) []Block {
+	if a == nil {
+		return make([]Block, n)
+	}
+	return slab.Grab(&a.blocks, n)
+}
+
+func (a *Arena) setSlab(n int) []frameSet {
+	if a == nil {
+		return make([]frameSet, n)
+	}
+	return slab.Grab(&a.sets, n)
+}
 
 // BlockBytes is the cache block size (Table 1).
 const BlockBytes = 64
@@ -63,6 +98,7 @@ type Bank struct {
 	spec Spec
 	lat  Latency
 	sets []frameSet
+	slab []Block // backing store of every set's frames (see New)
 
 	// Counters for experiment reporting.
 	Probes uint64 // tag-match accesses
@@ -71,12 +107,47 @@ type Bank struct {
 
 // New allocates an empty bank.
 func New(spec Spec) *Bank {
+	return NewIn(spec, nil)
+}
+
+// NewIn is New with its storage carved from an arena — batch
+// construction lays a fleet's bank state contiguously and recycles it
+// across construction rounds. A nil arena allocates normally.
+func NewIn(spec Spec, ar *Arena) *Bank {
 	if spec.SizeKB <= 0 || spec.Ways <= 0 {
 		panic(fmt.Sprintf("bank: bad spec %+v", spec))
 	}
 	b := &Bank{spec: spec, lat: LatencyFor(spec.SizeKB)}
-	b.sets = make([]frameSet, spec.Sets())
+	b.sets = ar.setSlab(spec.Sets())
+	// Carve every set's frame storage out of one bank-wide slab. Insert
+	// and InsertLRU guarantee len < Ways before appending, so a set's
+	// slice never outgrows its full-capacity window and the three-index
+	// slicing keeps an overflowing append from bleeding into the next
+	// set. This removes the dominant warm-up cost (one allocation per
+	// set on first insert — 256 K allocations for a 256-bank design).
+	b.slab = ar.blockSlab(len(b.sets) * spec.Ways)
+	for i := range b.sets {
+		o := i * spec.Ways
+		b.sets[i].blocks = b.slab[o : o : o+spec.Ways]
+	}
 	return b
+}
+
+// CloneState copies another bank's full mutable state into this one —
+// frames, per-set fill, and counters. Both banks must have the same
+// spec. Because every set's slice aliases a fixed window of the slab,
+// one slab copy moves every frame and re-slicing restores the fills;
+// cloning a warmed template this way replaces the per-block insert
+// replay of warm-up with a memcpy (see cache.WarmImage).
+func (b *Bank) CloneState(src *Bank) {
+	if b.spec != src.spec {
+		panic(fmt.Sprintf("bank: clone of %s into %s", src.spec, b.spec))
+	}
+	copy(b.slab, src.slab)
+	for i := range b.sets {
+		b.sets[i].blocks = b.sets[i].blocks[:len(src.sets[i].blocks)]
+	}
+	b.Probes, b.Stores = src.Probes, src.Stores
 }
 
 // Spec returns the bank geometry.

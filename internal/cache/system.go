@@ -8,6 +8,7 @@ import (
 	"nucanet/internal/flit"
 	"nucanet/internal/mem"
 	"nucanet/internal/network"
+	"nucanet/internal/router"
 	"nucanet/internal/routing"
 	"nucanet/internal/sim"
 	"nucanet/internal/stats"
@@ -41,15 +42,49 @@ type System struct {
 // when the design's topology cannot be built or its routing fails the
 // static deadlock-freedom check.
 func New(k *sim.Kernel, d config.Design, policy Policy, mode Mode) (*System, error) {
+	return NewPrebuilt(k, d, policy, mode, Prebuilt{})
+}
+
+// Prebuilt carries construction artifacts a caller has already produced
+// so batch evaluation (internal/fleet) can share the immutable ones
+// across many systems of the same design. The zero value builds
+// everything fresh — the ordinary single-run path.
+type Prebuilt struct {
+	// Topo, when non-nil, must be the design's own topology (d.Build()
+	// output); it is shared read-only across systems.
+	Topo *topology.Topology
+	// Alg, when non-nil, is the routing algorithm or precomputed
+	// *routing.Table to use instead of routing.For(Topo).
+	Alg routing.Algorithm
+	// Arena and Prechecked pass through to network.BuildOpts.
+	Arena      *router.Arena
+	Prechecked bool
+}
+
+// ValidatePair reports the same errors New would raise for an
+// unregistered policy or an unknown mode, letting callers fail in New's
+// error order before building any artifacts.
+func ValidatePair(policy Policy, mode Mode) error {
 	if !policy.Valid() {
-		return nil, fmt.Errorf("cache: unregistered policy id %d (registered: %v)", policy, PolicyNames())
+		return fmt.Errorf("cache: unregistered policy id %d (registered: %v)", policy, PolicyNames())
 	}
 	if !mode.Valid() {
-		return nil, fmt.Errorf("cache: unknown mode id %d", mode)
+		return fmt.Errorf("cache: unknown mode id %d", mode)
 	}
-	topo, err := d.Build()
-	if err != nil {
+	return nil
+}
+
+// NewPrebuilt is New with shared construction artifacts (see Prebuilt).
+func NewPrebuilt(k *sim.Kernel, d config.Design, policy Policy, mode Mode, pre Prebuilt) (*System, error) {
+	if err := ValidatePair(policy, mode); err != nil {
 		return nil, err
+	}
+	topo := pre.Topo
+	if topo == nil {
+		var err error
+		if topo, err = d.Build(); err != nil {
+			return nil, err
+		}
 	}
 	s := &System{
 		K: k, Design: d, Policy: policy, Mode: mode,
@@ -58,11 +93,16 @@ func New(k *sim.Kernel, d config.Design, policy Policy, mode Mode) (*System, err
 		Lat:  stats.NewLatency(len(d.Banks)),
 		eng:  policy.engine(),
 	}
-	alg, err := routing.For(topo)
-	if err != nil {
-		return nil, err
+	alg := pre.Alg
+	if alg == nil {
+		var err error
+		if alg, err = routing.For(topo); err != nil {
+			return nil, err
+		}
 	}
-	s.Net, err = network.New(k, topo, alg, d.Router)
+	var err error
+	s.Net, err = network.NewOpts(k, topo, alg, d.Router,
+		network.BuildOpts{Arena: pre.Arena, Prechecked: pre.Prechecked})
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +114,7 @@ func New(k *sim.Kernel, d config.Design, policy Policy, mode Mode) (*System, err
 		for p, node := range col {
 			a := &agent{
 				sys: s, node: node, col: c, pos: p, last: len(col) - 1,
-				bk: bank.New(d.Banks[p]),
+				bk: bank.NewIn(d.Banks[p], pre.Arena.BankArena()),
 			}
 			a.sched.register(k)
 			s.agents[c][p] = a

@@ -8,19 +8,14 @@
 package core
 
 import (
-	"fmt"
-
 	"nucanet/internal/cache"
 	"nucanet/internal/config"
 	"nucanet/internal/cpu"
 	"nucanet/internal/energy"
 	"nucanet/internal/mem"
 	"nucanet/internal/network"
-	"nucanet/internal/router"
-	"nucanet/internal/sim"
 	"nucanet/internal/stats"
 	"nucanet/internal/telemetry"
-	"nucanet/internal/trace"
 )
 
 // Options configures one simulation run.
@@ -102,97 +97,17 @@ type Result struct {
 // Run executes one simulation to completion. Each run owns its kernel,
 // RNG streams, and stats, so concurrent Run calls on distinct Options
 // never share mutable state (the property the parallel engine depends
-// on; see engine.go and the determinism regression test).
+// on; see engine.go and the determinism regression test). Run is the
+// composition of the batch-evaluation API in instance.go: Prepare the
+// immutable artifacts, assemble an Instance, drive it to quiescence.
 func Run(opt Options) (Result, error) {
-	dp, err := config.Resolve(opt.DesignID, opt.Design)
+	art, err := Prepare(opt, nil)
 	if err != nil {
 		return Result{}, err
 	}
-	d := *dp
-	if opt.Router != "" {
-		d.Router.Engine = opt.Router
-	}
-	// Normalize the engine to its registered name (empty selects the
-	// default) so Result.Design records what actually simulated, and fail
-	// fast on unknown engines or unsupported (engine, topology) pairs.
-	eng, err := router.ByName(d.Router.Engine)
+	in, err := NewInstance(art, nil)
 	if err != nil {
 		return Result{}, err
 	}
-	d.Router.Engine = eng.Name
-	if err := d.Validate(); err != nil {
-		return Result{}, err
-	}
-	prof, err := trace.ProfileByName(opt.Benchmark)
-	if err != nil {
-		return Result{}, err
-	}
-	if opt.Accesses <= 0 {
-		return Result{}, fmt.Errorf("core: accesses must be positive, got %d", opt.Accesses)
-	}
-
-	k := sim.NewKernel()
-	sys, err := cache.New(k, d, opt.Policy, opt.Mode)
-	if err != nil {
-		return Result{}, err
-	}
-	gen := trace.NewSynthetic(prof, sys.AM, opt.Seed)
-	sys.Warm(gen.WarmBlocks(d.Ways()))
-	accs := trace.Take(gen, opt.Accesses)
-
-	cpuCfg := opt.CPU
-	if cpuCfg.Window == 0 {
-		cpuCfg = cpu.DefaultConfig()
-	}
-	cpuCfg.Seed = opt.Seed
-	c := cpu.New(k, sys, prof, accs, cpuCfg)
-	// Telemetry is wired after every working component so its sampling
-	// observer registers with the highest component id and ticks last
-	// within a cycle (see sim.Observer).
-	tel := telemetry.New(opt.Telemetry, sys.Topo)
-	if tel != nil {
-		sys.EnableTelemetry(tel)
-	}
-	res, err := c.Run(1 << 40)
-	if err != nil {
-		return Result{}, fmt.Errorf("core: %s/%v/%v/%s: %w",
-			d.ID, opt.Policy, opt.Mode, opt.Benchmark, err)
-	}
-	if err := sys.Drain(1 << 30); err != nil {
-		return Result{}, err
-	}
-	tel.Finish(k.Now())
-
-	bank, net, memShare := sys.Lat.Shares()
-	netStats := sys.Net.Stats()
-	memStats := sys.Memory.Stats()
-	erep := energy.DefaultModel().Estimate(energy.Activity{
-		FlitHops:     netStats.Router.FlitsRouted,
-		BankAccesses: sys.BankAccessesBySize(),
-		MemBlocks:    memStats.Reads + memStats.WriteBacks,
-		Accesses:     uint64(opt.Accesses),
-	})
-	return Result{
-		Options:      opt,
-		Design:       d,
-		IPC:          res.IPC(),
-		PerfectIPC:   prof.PerfectIPC,
-		Instructions: res.Instructions,
-		Cycles:       res.Cycles,
-		AvgLatency:   sys.Lat.Avg(),
-		AvgHit:       sys.Lat.AvgHit(),
-		AvgMiss:      sys.Lat.AvgMiss(),
-		AvgOccupancy: sys.Lat.AvgOccupancy(),
-		HitRate:      sys.Lat.HitRate(),
-		MRUHitShare:  sys.Lat.HitWayShare(0),
-		BankShare:    bank,
-		NetworkShare: net,
-		MemShare:     memShare,
-		BankAccesses: sys.BankAccesses(),
-		Network:      netStats,
-		Memory:       memStats,
-		Latency:      sys.Lat.Clone(),
-		Energy:       erep,
-		Telemetry:    tel,
-	}, nil
+	return in.RunToCompletion()
 }

@@ -57,6 +57,39 @@ type ExpConfig struct {
 	// Names resolve through the router registry, like PolicyName through
 	// the cache registry.
 	RouterName string
+	// Bench selects the benchmark of the single-benchmark experiments
+	// (energy, power, pareto, telemetry, placement); empty keeps the
+	// paper's gcc. The all-benchmark sweeps (f7-f9, headline) ignore it.
+	Bench string
+	// Telemetry configures the probes of the telemetry experiment; the
+	// zero value selects its default probe set. Other experiments ignore
+	// it.
+	Telemetry telemetry.Config
+	// Fleet routes sweeps through the bulk-synchronous fleet evaluator
+	// when one is linked in (see SetBulkRunner) — bit-identical results,
+	// shared preparation. False keeps the per-run goroutine engine.
+	Fleet bool
+}
+
+// bench resolves the single-benchmark experiments' benchmark.
+func (cfg ExpConfig) bench() string {
+	if cfg.Bench == "" {
+		return "gcc"
+	}
+	return cfg.Bench
+}
+
+// bulkRunner is the fleet evaluator's entry point, registered by
+// internal/fleet's init through SetBulkRunner. The indirection exists
+// because fleet builds on core: core cannot import it back.
+var bulkRunner func(opts []Options, workers int) ([]Result, SweepReport, error)
+
+// SetBulkRunner installs the batch evaluator ExpConfig.Fleet selects.
+// The runner must return results bit-identical to Engine.RunAll in
+// submission order with the same error semantics; internal/fleet
+// registers its lockstep evaluator here.
+func SetBulkRunner(fn func(opts []Options, workers int) ([]Result, SweepReport, error)) {
+	bulkRunner = fn
 }
 
 // DefaultExpConfig keeps the full figure sweeps to a few minutes.
@@ -87,8 +120,13 @@ func (cfg ExpConfig) run(designID string, p cache.Policy, m cache.Mode, bench st
 	}
 }
 
-// sweep fans the job list out on the engine configured by cfg.
+// sweep fans the job list out on the engine configured by cfg: the
+// per-run goroutine engine, or the registered fleet evaluator when
+// cfg.Fleet asks for it (identical results either way).
 func (cfg ExpConfig) sweep(opts []Options) ([]Result, SweepReport, error) {
+	if cfg.Fleet && bulkRunner != nil {
+		return bulkRunner(opts, cfg.Workers)
+	}
 	return NewEngine(cfg.Workers).RunAll(opts)
 }
 

@@ -15,6 +15,7 @@ package energy
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Model holds per-event energies in picojoules.
@@ -90,8 +91,17 @@ func (r Report) String() string {
 func (m Model) Estimate(a Activity) Report {
 	rep := Report{Accesses: a.Accesses}
 	rep.NetworkPJ = float64(a.FlitHops) * (m.FlitHopPJ + m.FlitBufPJ)
-	for kb, n := range a.BankAccesses {
-		rep.BankPJ += float64(n) * m.BankAccessPJ(kb)
+	// Sum bank sizes in sorted order: float addition is not associative,
+	// and ranging the map directly made the low bits of BankPJ depend on
+	// Go's randomized map iteration — the one nondeterministic result
+	// field in an otherwise bit-reproducible simulator.
+	kbs := make([]int, 0, len(a.BankAccesses))
+	for kb := range a.BankAccesses {
+		kbs = append(kbs, kb)
+	}
+	sort.Ints(kbs)
+	for _, kb := range kbs {
+		rep.BankPJ += float64(a.BankAccesses[kb]) * m.BankAccessPJ(kb)
 	}
 	rep.MemoryPJ = float64(a.MemBlocks) * m.MemBlockPJ
 	return rep

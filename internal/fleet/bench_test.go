@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"runtime"
+	"testing"
+
+	"nucanet/internal/config"
+	"nucanet/internal/core"
+)
+
+// optimizerBatch models the workload the fleet exists for: one optimizer
+// wave of candidate placements, each scored on a small benchmark mix
+// with short screening runs (cmd/nucaopt screens every mutation this
+// way before re-scoring survivors with long runs). 16 candidates
+// (design D with the core/mem column swept across the die) x 4
+// benchmarks = 64 lanes; lanes of one candidate share its topology and
+// routing table, lanes of one benchmark share the access stream, warm
+// table, and warm image.
+func optimizerBatch(b *testing.B, accesses int) []core.Options {
+	b.Helper()
+	base, err := config.DesignByID("D")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var opts []core.Options
+	for cx := 0; cx < 16; cx++ {
+		d := base
+		d.ID = "D*"
+		d.Params.CoreX = cx
+		d.Params.MemX = cx
+		for _, bench := range []string{"gcc", "mcf", "art", "apsi"} {
+			opt := core.DefaultOptions()
+			opt.DesignID = d.ID
+			opt.Design = &d
+			opt.Benchmark = bench
+			opt.Accesses = accesses
+			opts = append(opts, opt)
+		}
+	}
+	return opts[:64]
+}
+
+// BenchmarkFleetStep compares the fleet's lockstep batch evaluation
+// against the per-run goroutine path on the same 64-lane optimizer wave
+// (the acceptance target is >=2x at batch >= 64). The runs/s metric is
+// completed simulations per second of wall clock.
+func BenchmarkFleetStep(b *testing.B) {
+	const accesses = 150
+	opts := optimizerBatch(b, accesses)
+	workers := runtime.GOMAXPROCS(0)
+
+	b.Run("fleet-64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := RunAll(opts, Config{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(opts)*b.N)/b.Elapsed().Seconds(), "runs/s")
+	})
+	b.Run("goroutines-64", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := core.NewEngine(workers)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.RunAll(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(opts)*b.N)/b.Elapsed().Seconds(), "runs/s")
+	})
+}

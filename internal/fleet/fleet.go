@@ -1,0 +1,211 @@
+// Package fleet evaluates a batch of independent simulations in
+// bulk-synchronous lockstep — the evaluation engine behind the
+// topology-placement optimizer (cmd/nucaopt).
+//
+// The per-run goroutine path (core.Engine.RunAll) pays each run's full
+// setup — topology build, routing precompute, static verification, trace
+// generation, cache warm-up — even when a sweep evaluates hundreds of
+// near-identical candidates. For short screening runs that setup
+// dominates the simulation itself. The fleet trades the general path's
+// flexibility for batch locality:
+//
+//   - Shared immutable artifacts. One core.PrepCache deduplicates the
+//     (topology, routing table, static verification) triple per distinct
+//     design and the (warm table, access stream) pair per distinct
+//     (benchmark, seed, geometry) key. An optimizer wave of N candidates
+//     over one benchmark mix prepares each artifact once, not N times.
+//   - Structure-of-arrays construction. Each worker carves every lane's
+//     router/VC state — flit rings, credit counters, arbitration scratch
+//     — from one router.Arena, laying the whole stripe out contiguously
+//     instead of scattering thousands of small heap objects.
+//   - Lockstep windows. Each worker advances its lanes through fixed
+//     cycle horizons (sim.Kernel.RunUntil) in rotation, bounding how far
+//     any lane's working set drifts from its stripe-mates'.
+//
+// Every lane still executes exactly the cycles core.Run would — lanes
+// share no mutable state, so the results are bit-identical to N
+// independent core.Run calls (pinned by TestFleetBitIdentity across
+// designs x policies x router engines). Lanes with telemetry probes
+// enabled fall back to core.Run inside their worker: probes need the
+// general path, and the fleet's contract is completeness, not uniform
+// speed.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+
+	"nucanet/internal/core"
+	"nucanet/internal/router"
+	"nucanet/internal/sim"
+	"nucanet/internal/telemetry"
+)
+
+// init registers the fleet as core's bulk runner, so experiment sweeps
+// with ExpConfig.Fleet set — and any other core.SetBulkRunner consumer —
+// evaluate through the lockstep path in every binary that links this
+// package.
+func init() {
+	core.SetBulkRunner(func(opts []core.Options, workers int) ([]core.Result, core.SweepReport, error) {
+		return RunAll(opts, Config{Workers: workers})
+	})
+}
+
+// Config tunes fleet execution; the zero value is a sensible default.
+type Config struct {
+	// Workers is the worker-goroutine count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Window is the lockstep horizon in cycles; <= 0 selects 4096.
+	Window int64
+	// Cohort is how many lanes a worker constructs and locksteps at a
+	// time; <= 0 selects 8. Cohorts bound the live heap to cohort-many
+	// systems per worker, and each cohort reuses the worker's arena
+	// memory (router.Arena.Reset) instead of allocating afresh.
+	Cohort int
+}
+
+// maxLaneCycles mirrors core.Run's cycle budget: a lane that has not
+// completed within it is reported with the same did-not-complete error.
+const maxLaneCycles = 1 << 40
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Window <= 0 {
+		c.Window = 4096
+	}
+	if c.Cohort <= 0 {
+		c.Cohort = 8
+	}
+	return c
+}
+
+// RunAll executes every Options in lockstep batches and returns results
+// in submission order, bit-identical to running each through core.Run.
+// On error it returns the lowest-index lane's error, exactly as
+// core.Engine.RunAll would. The SweepReport's Work is the summed
+// per-worker stripe time (per-lane times do not exist under lockstep, so
+// PerRun stays nil).
+func RunAll(opts []core.Options, cfg Config) ([]core.Result, core.SweepReport, error) {
+	cfg = cfg.withDefaults()
+	rep := core.SweepReport{Runs: len(opts), Workers: cfg.Workers}
+	if len(opts) == 0 {
+		return nil, rep, nil
+	}
+
+	// Prepare every lane's artifacts on this goroutine: the PrepCache is
+	// single-threaded by design, and preparation is exactly the shared
+	// setup the fleet exists to deduplicate.
+	pc := core.NewPrepCache()
+	arts := make([]*core.Artifacts, len(opts))
+	for i, opt := range opts {
+		art, err := core.Prepare(opt, pc)
+		if err != nil {
+			return nil, rep, err
+		}
+		arts[i] = art
+	}
+
+	// Contiguous stripes: worker w owns lanes [w*per, min((w+1)*per, n)).
+	// Stripe membership only affects scheduling, never results.
+	n := len(arts)
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	per := (n + workers - 1) / workers
+
+	results := make([]core.Result, n)
+	errs := make([]error, n)
+	_, durs, wall, err := sim.TimedParMap(workers, workers, func(w int) (struct{}, error) {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			runStripe(arts[lo:hi], results[lo:hi], errs[lo:hi], cfg)
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, rep, err // unreachable: stripes report per-lane errors
+	}
+	rep.Wall = wall
+	for _, d := range durs {
+		rep.Work += d
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, rep, e
+		}
+	}
+	return results, rep, nil
+}
+
+// runStripe drives one worker's lanes to completion, one cohort at a
+// time. All of the stripe's construction state — router slices and bank
+// frame slabs — carves from one arena; finishing a cohort drops every
+// reference into it, so the next cohort resets and reuses the same
+// memory. Cohort boundaries only affect scheduling, never results.
+func runStripe(arts []*core.Artifacts, results []core.Result, errs []error, cfg Config) {
+	ar := &router.Arena{}
+	for lo := 0; lo < len(arts); lo += cfg.Cohort {
+		hi := lo + cfg.Cohort
+		if hi > len(arts) {
+			hi = len(arts)
+		}
+		ar.Reset()
+		runCohort(arts[lo:hi], results[lo:hi], errs[lo:hi], cfg.Window, ar)
+	}
+}
+
+// runCohort drives one cohort of lanes to completion in lockstep
+// windows.
+func runCohort(arts []*core.Artifacts, results []core.Result, errs []error, window int64, ar *router.Arena) {
+	lanes := make([]*core.Instance, len(arts))
+	live := 0
+	for i, art := range arts {
+		if art.Opt.Telemetry != (telemetry.Config{}) {
+			// Probe-carrying lanes take the general path (see package
+			// comment); results are identical either way.
+			results[i], errs[i] = core.Run(art.Opt)
+			continue
+		}
+		in, err := core.NewInstance(art, ar)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		in.Start()
+		lanes[i] = in
+		live++
+	}
+
+	for horizon := window; live > 0; horizon += window {
+		for i, in := range lanes {
+			if in == nil {
+				continue
+			}
+			if in.K.RunUntil(horizon) || horizon >= maxLaneCycles {
+				results[i], errs[i] = in.FinishIdle()
+				lanes[i] = nil
+				live--
+			}
+		}
+	}
+}
+
+// Sequential is the reference execution the bit-identity tests compare
+// against: every lane through core.Run, one at a time, same signature.
+func Sequential(opts []core.Options) ([]core.Result, error) {
+	out := make([]core.Result, len(opts))
+	for i, opt := range opts {
+		r, err := core.Run(opt)
+		if err != nil {
+			return nil, fmt.Errorf("lane %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}

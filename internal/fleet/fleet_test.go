@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"nucanet/internal/cache"
+	"nucanet/internal/core"
+	"nucanet/internal/telemetry"
+)
+
+// combos builds the bit-identity table: designs x policies x router
+// engines, skipping pairs the static gates reject (that rejection is
+// pinned elsewhere; here we only compare successful runs).
+func combos(t *testing.T, accesses int) []core.Options {
+	t.Helper()
+	var opts []core.Options
+	for _, designID := range []string{"A", "F", "R"} {
+		for _, policy := range []cache.Policy{cache.FastLRU, cache.Promotion, cache.Static} {
+			for _, engine := range []string{"", "bufferless", "ring-lite"} {
+				opt := core.DefaultOptions()
+				opt.DesignID = designID
+				opt.Policy = policy
+				opt.Router = engine
+				opt.Accesses = accesses
+				opt.Benchmark = "gcc"
+				if _, err := core.Prepare(opt, nil); err != nil {
+					continue // engine does not support this topology
+				}
+				opts = append(opts, opt)
+			}
+		}
+	}
+	if len(opts) < 9 {
+		t.Fatalf("only %d valid (design, policy, engine) combos; expected at least 9", len(opts))
+	}
+	return opts
+}
+
+// TestFleetBitIdentity is the fleet's core contract: lockstep batch
+// evaluation returns results bit-identical to independent core.Run
+// calls, across designs x policies x router engines, at any worker
+// count, with results in submission order.
+func TestFleetBitIdentity(t *testing.T) {
+	accesses := 300
+	if testing.Short() {
+		accesses = 150
+	}
+	opts := combos(t, accesses)
+	want, err := Sequential(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, rep, err := RunAll(opts, Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Runs != len(opts) {
+			t.Fatalf("workers=%d: report runs = %d, want %d", workers, rep.Runs, len(opts))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("workers=%d lane %d (%s/%v/%q): fleet result differs from core.Run",
+					workers, i, opts[i].DesignID, opts[i].Policy, opts[i].Router)
+			}
+		}
+	}
+}
+
+// TestFleetSharedArtifacts pins that sharing actually happens: lanes of
+// one design+benchmark reuse one topology and one access stream.
+func TestFleetSharedArtifacts(t *testing.T) {
+	pc := core.NewPrepCache()
+	opt := core.DefaultOptions()
+	opt.DesignID = "F"
+	opt.Accesses = 100
+	a1, err := core.Prepare(opt, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.Prepare(opt, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Topo != a2.Topo {
+		t.Error("same design prepared twice did not share the topology")
+	}
+	if a1.Table != a2.Table {
+		t.Error("same design prepared twice did not share the routing table")
+	}
+	if &a1.Accs[0] != &a2.Accs[0] {
+		t.Error("same trace key prepared twice did not share the access stream")
+	}
+	// A different design with the same geometry shares the trace but not
+	// the topology.
+	opt2 := opt
+	opt2.DesignID = "D"
+	a3, err := core.Prepare(opt2, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.Topo == a1.Topo {
+		t.Error("distinct designs share a topology")
+	}
+	if &a3.Accs[0] != &a1.Accs[0] {
+		t.Error("same-geometry designs did not share the access stream")
+	}
+}
+
+// TestFleetTelemetryFallback pins the escape hatch: a probe-carrying
+// lane takes the core.Run path inside its stripe and still lands in
+// submission order with its telemetry attached.
+func TestFleetTelemetryFallback(t *testing.T) {
+	plain := core.DefaultOptions()
+	plain.DesignID = "F"
+	plain.Accesses = 200
+	probed := plain
+	probed.Telemetry = telemetry.Config{Heatmap: true}
+
+	got, _, err := RunAll([]core.Options{plain, probed, plain}, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Telemetry != nil || got[2].Telemetry != nil {
+		t.Error("plain lanes grew telemetry")
+	}
+	if got[1].Telemetry == nil {
+		t.Error("probed lane lost its telemetry")
+	}
+	want, err := core.Run(probed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].IPC != want.IPC || got[1].Cycles != want.Cycles {
+		t.Errorf("probed lane IPC/cycles = %v/%v, want %v/%v",
+			got[1].IPC, got[1].Cycles, want.IPC, want.Cycles)
+	}
+}
+
+// TestFleetErrorLowestIndex pins Engine.RunAll-compatible error
+// semantics: the lowest-index failing lane's error is returned.
+func TestFleetErrorLowestIndex(t *testing.T) {
+	ok := core.DefaultOptions()
+	ok.Accesses = 100
+	bad := ok
+	bad.Benchmark = "no-such-benchmark"
+	if _, _, err := RunAll([]core.Options{ok, bad, ok}, Config{}); err == nil {
+		t.Fatal("bad lane did not fail the batch")
+	}
+}
+
+// TestFleetEmpty pins the trivial batch.
+func TestFleetEmpty(t *testing.T) {
+	got, rep, err := RunAll(nil, Config{})
+	if err != nil || got != nil || rep.Runs != 0 {
+		t.Fatalf("empty batch: got %v, %+v, %v", got, rep, err)
+	}
+}

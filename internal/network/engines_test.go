@@ -16,7 +16,7 @@ import (
 // verifier must reject it) and one whose Supports check refuses every
 // topology. Their constructors must never run.
 func init() {
-	mustNotBuild := func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg router.Config, k *sim.Kernel) router.Engine {
+	mustNotBuild := func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg router.Config, k *sim.Kernel, ar *router.Arena) router.Engine {
 		panic("test engine constructed despite failing its construction gate")
 	}
 	router.Register(router.Builder{
@@ -102,8 +102,8 @@ func TestEnginesCannotMix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := wh.New(0, topo, tb, router.DefaultConfig(), k)
-	b := bl.New(1, topo, tb, router.DefaultConfig(), k)
+	a := wh.New(0, topo, tb, router.DefaultConfig(), k, nil)
+	b := bl.New(1, topo, tb, router.DefaultConfig(), k, nil)
 	defer func() {
 		if recover() == nil {
 			t.Error("wiring a wormhole router to a bufferless router did not panic")

@@ -73,6 +73,29 @@ type Network struct {
 // (routing.VerifyDeflectionLivelockFree). A configuration that could
 // deadlock or livelock is rejected before a single cycle is simulated.
 func New(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg router.Config) (*Network, error) {
+	return NewOpts(k, topo, alg, cfg, BuildOpts{})
+}
+
+// BuildOpts tunes network construction for batch evaluation; the zero
+// value is the ordinary single-run path.
+type BuildOpts struct {
+	// Arena, when non-nil, supplies the backing storage every router
+	// carves its construction-time state from, laying a batch of
+	// networks out contiguously (see router.Arena and internal/fleet).
+	Arena *router.Arena
+	// Prechecked skips the static progress proof and Supports gate. Only
+	// set it when Check already accepted this exact (topology, routing,
+	// config) triple — the fleet evaluator verifies once per design and
+	// then builds one network per lane.
+	Prechecked bool
+}
+
+// Check runs New's static construction gates — engine lookup, routing
+// table precompute, the engine's progress proof (deadlock or livelock
+// check), and its Supports test — without building a single router. It
+// returns the precomputed table so callers can reuse it across many
+// constructions of the same design.
+func Check(topo *topology.Topology, alg routing.Algorithm, cfg router.Config) (*routing.Table, error) {
 	eng, err := router.ByName(cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -96,11 +119,28 @@ func New(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg rout
 			return nil, fmt.Errorf("network: engine %q does not support topology %s: %w", eng.Name, topo.Name, err)
 		}
 	}
+	return tb, nil
+}
+
+// NewOpts is New with batch-construction options (see BuildOpts).
+func NewOpts(k *sim.Kernel, topo *topology.Topology, alg routing.Algorithm, cfg router.Config, o BuildOpts) (*Network, error) {
+	eng, err := router.ByName(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	var tb *routing.Table
+	if o.Prechecked {
+		if tb, err = routing.Precompute(topo, alg); err != nil {
+			return nil, err
+		}
+	} else if tb, err = Check(topo, alg, cfg); err != nil {
+		return nil, err
+	}
 	n := &Network{K: k, Topo: topo, Alg: tb, pool: &flit.PacketPool{}}
 	n.Routers = make([]router.Engine, topo.NumNodes())
 	n.eps = make([][3]Endpoint, topo.NumNodes())
 	for id := 0; id < topo.NumNodes(); id++ {
-		n.Routers[id] = eng.New(id, topo, tb, cfg, k)
+		n.Routers[id] = eng.New(id, topo, tb, cfg, k, o.Arena)
 		n.Routers[id].SetPool(n.pool)
 	}
 	for id := 0; id < topo.NumNodes(); id++ {

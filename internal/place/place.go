@@ -1,0 +1,7 @@
+// Package place encodes topology-placement candidates — which bank
+// stack fills each column, where the core and memory controller sit,
+// and the link budgets between them — and registers the "placement"
+// experiment that searches the space with deterministic simulated
+// annealing (cmd/nucaopt drives it). Importing the package links the
+// fleet evaluator, so candidate waves score through the lockstep path.
+package place

@@ -79,8 +79,8 @@ func init() {
 	Register(Builder{
 		Name:        "bufferless",
 		Description: "bufferless deflection router: age-based arbitration, no VCs, no credits",
-		New: func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel) Engine {
-			return newBufferless(id, topo, tb, cfg, k)
+		New: func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel, ar *Arena) Engine {
+			return newBufferless(id, topo, tb, cfg, k, ar)
 		},
 		Supports:    bufferlessSupports,
 		Deflecting:  true,
@@ -114,18 +114,18 @@ func bufferlessSupports(topo *topology.Topology, _ Config) error {
 	return nil
 }
 
-func newBufferless(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel) *Bufferless {
+func newBufferless(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel, ar *Arena) *Bufferless {
 	cfg = cfg.withDefaults()
 	np := topo.NumPorts(id)
 	b := &Bufferless{
 		ID: id, cfg: cfg, topo: topo, tb: tb, k: k,
 		numPorts:   np,
-		in:         make([]flitRing, np+1),
+		in:         ar.ringSlab(np + 1),
 		neighbor:   make([]*Bufferless, np),
-		neighborIn: make([]int, np),
-		linkDelay:  make([]int, np),
+		neighborIn: ar.intSlab(np),
+		linkDelay:  ar.intSlab(np),
 		cand:       make([]blCand, 0, np+1),
-		outUsed:    make([]bool, np),
+		outUsed:    ar.boolSlab(np),
 	}
 	return b
 }

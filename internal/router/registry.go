@@ -62,8 +62,11 @@ type Builder struct {
 	Description string
 
 	// New constructs one unwired node. The network package wires links,
-	// installs the pool/deliver/kernel hooks, and registers it.
-	New func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel) Engine
+	// installs the pool/deliver/kernel hooks, and registers it. ar, when
+	// non-nil, is the construction arena the node must carve its state
+	// from (batch construction for the fleet evaluator); a nil arena
+	// means per-router allocation and must produce identical behavior.
+	New func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel, ar *Arena) Engine
 
 	// Supports rejects (topology, config) pairs the engine cannot run,
 	// with a descriptive error; nil means unconstrained. network.New

@@ -62,24 +62,24 @@ func init() {
 	Register(Builder{
 		Name:        "ring-lite",
 		Description: "two-entry-latch store-and-forward ring stop: no VCs, no credits, transit priority",
-		New: func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel) Engine {
-			return newRingLite(id, topo, tb, cfg, k)
+		New: func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel, ar *Arena) Engine {
+			return newRingLite(id, topo, tb, cfg, k, ar)
 		},
 		BufferFlitsPerPort: func(Config) int { return ringLatchCap },
 	})
 }
 
-func newRingLite(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel) *RingLite {
+func newRingLite(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel, ar *Arena) *RingLite {
 	cfg = cfg.withDefaults()
 	np := topo.NumPorts(id)
 	return &RingLite{
 		ID: id, cfg: cfg, topo: topo, tb: tb, k: k,
 		numPorts:   np,
-		in:         make([]flitRing, np+1),
+		in:         ar.ringSlab(np + 1),
 		neighbor:   make([]*RingLite, np),
-		neighborIn: make([]int, np),
-		linkDelay:  make([]int, np),
-		usedIn:     make([]bool, np+1),
+		neighborIn: ar.intSlab(np),
+		linkDelay:  ar.intSlab(np),
+		usedIn:     ar.boolSlab(np + 1),
 	}
 }
 

@@ -64,8 +64,8 @@ func init() {
 	Register(Builder{
 		Name:        DefaultEngine,
 		Description: "credit-based VC wormhole router with hybrid multicast replication (Table 1)",
-		New: func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel) Engine {
-			return New(id, topo, tb, cfg, k)
+		New: func(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel, ar *Arena) Engine {
+			return New(id, topo, tb, cfg, k, ar)
 		},
 		BufferFlitsPerPort: func(cfg Config) int {
 			cfg = cfg.withDefaults()
@@ -184,46 +184,51 @@ type Router struct {
 // sets the deliver callback, and registers it with the kernel. Routers
 // consume routing only through a precomputed table (routing.Precompute),
 // never a raw algorithm: route lookup is a flat array index regardless
-// of the topology family.
-func New(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel) *Router {
+// of the topology family. A non-nil arena supplies the backing storage
+// for every construction-time slice (see Arena); nil allocates directly.
+func New(id topology.NodeID, topo *topology.Topology, tb *routing.Table, cfg Config, k *sim.Kernel, ar *Arena) *Router {
 	cfg = cfg.withDefaults()
 	np := topo.NumPorts(id)
 	r := &Router{
 		ID: id, cfg: cfg, topo: topo, tb: tb, k: k,
 		numPorts:   np,
 		neighbor:   make([]*Router, np),
-		neighborIn: make([]int, np),
-		linkDelay:  make([]int, np),
+		neighborIn: ar.intSlab(np),
+		linkDelay:  ar.intSlab(np),
 		upstream:   make([]*Router, np+1),
-		upstreamOP: make([]int, np+1),
-		rrOut:      make([]int, np+1),
-		portOcc:    make([]int, np+1),
-		usedIn:     make([]bool, np+1),
+		upstreamOP: ar.intSlab(np + 1),
+		rrOut:      ar.intSlab(np + 1),
+		portOcc:    ar.intSlab(np + 1),
+		usedIn:     ar.boolSlab(np + 1),
 	}
 	// All VC rings share one backing slab: one allocation per router,
 	// and neighbor-fed VCs (bounded at BufDepth by credit flow control)
 	// never grow past their carved slice.
-	slab := make([]entry, (np+1)*cfg.VCsPerPC*cfg.BufDepth)
+	slab := ar.entrySlab((np + 1) * cfg.VCsPerPC * cfg.BufDepth)
 	words := ((np+1)*cfg.VCsPerPC + 63) / 64
 	r.reqMask = make([][]uint64, np)
 	for o := range r.reqMask {
-		r.reqMask[o] = make([]uint64, words)
+		r.reqMask[o] = ar.wordSlab(words)
 	}
 	r.in = make([][]*vcState, np+1)
 	for p := range r.in {
+		vcSlab := ar.vcSlab(cfg.VCsPerPC)
 		vcs := make([]*vcState, cfg.VCsPerPC)
 		for v := range vcs {
-			vcs[v] = &vcState{port: p, idx: v, route: unassigned}
+			vcs[v] = &vcSlab[v]
+			*vcs[v] = vcState{port: p, idx: v, route: unassigned}
 			vcs[v].q.buf, slab = slab[:cfg.BufDepth:cfg.BufDepth], slab[cfg.BufDepth:]
 			r.resetRoute(vcs[v])
 		}
 		r.in[p] = vcs
 	}
+	outSlab := ar.outSlab(np)
 	r.out = make([]*outState, np)
 	for p := range r.out {
-		r.out[p] = &outState{
-			credits: make([]int, cfg.VCsPerPC),
-			owner:   make([]*flit.Packet, cfg.VCsPerPC),
+		r.out[p] = &outSlab[p]
+		*r.out[p] = outState{
+			credits: ar.intSlab(cfg.VCsPerPC),
+			owner:   ar.pktSlab(cfg.VCsPerPC),
 		}
 		for v := range r.out[p].credits {
 			r.out[p].credits[v] = cfg.BufDepth

@@ -31,8 +31,8 @@ func newPair(cfg Config) *pair {
 	p := &pair{k: sim.NewKernel()}
 	p.topo = topology.NewMesh(topology.MeshSpec{W: 2, H: 1, CoreX: 0, MemX: 1})
 	tb := mustTable(p.topo, routing.XY{})
-	p.a = New(0, p.topo, tb, cfg, p.k)
-	p.b = New(1, p.topo, tb, cfg, p.k)
+	p.a = New(0, p.topo, tb, cfg, p.k, nil)
+	p.b = New(1, p.topo, tb, cfg, p.k, nil)
 	p.a.Wire(topology.PortEast, p.b, topology.PortWest, 1)
 	p.b.Wire(topology.PortWest, p.a, topology.PortEast, 1)
 	p.a.SetKernelID(p.k.Register(p.a))
@@ -116,7 +116,7 @@ func TestNoRoutePanics(t *testing.T) {
 	p := newPair(DefaultConfig())
 	topo3 := topology.NewMesh(topology.MeshSpec{W: 3, H: 1, CoreX: 0, MemX: 2})
 	// Router built over a 3-wide topology but wired only to one neighbor:
-	r := New(0, topo3, mustTable(topo3, routing.XY{}), DefaultConfig(), p.k)
+	r := New(0, topo3, mustTable(topo3, routing.XY{}), DefaultConfig(), p.k, nil)
 	r.SetKernelID(p.k.Register(r))
 	r.Inject(&flit.Packet{Kind: flit.ReadReq, Src: 0, Dst: 2, DstEp: flit.ToBank}, 0)
 	defer func() {

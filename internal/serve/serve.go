@@ -125,6 +125,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/routings", s.handleRoutings)
 	mux.HandleFunc("GET /v1/routers", s.handleRouters)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
@@ -355,6 +356,30 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Benchmarks []string `json:"benchmarks"`
 	}{trace.Names()})
+}
+
+// ExperimentInfo is one /v1/experiments row, straight from the core
+// experiment registry: whatever the serving binary registered (including
+// extension experiments like "placement") is what the catalogue lists.
+type ExperimentInfo struct {
+	Name  string `json:"name"`
+	About string `json:"about"`
+	// InAll marks experiments paperbench's "-exp all" includes.
+	InAll bool `json:"in_all"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var out []ExperimentInfo
+	for _, name := range core.ExperimentNames() {
+		e, err := core.ExperimentByName(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, ExperimentInfo{Name: e.Name, About: e.About, InAll: e.InAll})
+	}
+	writeJSON(w, struct {
+		Experiments []ExperimentInfo `json:"experiments"`
+	}{out})
 }
 
 // handleHealthz reports ok while serving and 503/"draining" once Close

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"nucanet/internal/cache"
+	"nucanet/internal/core"
 	"nucanet/internal/router"
 	"nucanet/internal/routing"
 	"nucanet/internal/trace"
@@ -91,6 +92,29 @@ func TestCatalogueEndpoints(t *testing.T) {
 	getJSON(t, ts, "/v1/benchmarks", &bs)
 	if !reflect.DeepEqual(bs.Benchmarks, trace.Names()) {
 		t.Errorf("/v1/benchmarks = %v, want registry %v", bs.Benchmarks, trace.Names())
+	}
+
+	var es struct {
+		Experiments []ExperimentInfo `json:"experiments"`
+	}
+	getJSON(t, ts, "/v1/experiments", &es)
+	var expNames []string
+	inAll := map[string]bool{}
+	for _, e := range es.Experiments {
+		expNames = append(expNames, e.Name)
+		inAll[e.Name] = e.InAll
+		if e.About == "" {
+			t.Errorf("/v1/experiments: %s has empty about", e.Name)
+		}
+	}
+	if !reflect.DeepEqual(expNames, core.ExperimentNames()) {
+		t.Errorf("/v1/experiments = %v, want registry %v", expNames, core.ExperimentNames())
+	}
+	if all, ok := inAll["telemetry"]; !ok || all {
+		t.Errorf("/v1/experiments: telemetry in_all = %v, want listed false", inAll["telemetry"])
+	}
+	if all, ok := inAll["f9"]; !ok || !all {
+		t.Errorf("/v1/experiments: f9 in_all = %v, want listed true", inAll["f9"])
 	}
 }
 
