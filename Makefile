@@ -11,7 +11,7 @@ GO ?= go
 BENCH_COUNT ?= 3
 BENCH_LABEL ?= after
 
-.PHONY: build test check fmt vet race racegraph racecache racerouter racefleet serverace conformance bench benchsmoke smoke pareto-smoke opt-smoke serve-smoke verify clean
+.PHONY: build test check fmt vet race racegraph racecache racerouter racefleet raceshard serverace conformance bench benchsmoke smoke shard-smoke pareto-smoke opt-smoke serve-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,15 @@ racerouter:
 racefleet:
 	$(GO) test -race ./internal/fleet/ ./internal/place/
 
+# Race pass over the sharded execution path: the kernel-level wavefront
+# and mailbox tests, the partition planner, the network's cut wiring,
+# and the short-mode core determinism matrix with the parallel worker
+# path forced on — the detector audits the cross-shard ordering
+# protocol itself, not just the results.
+raceshard:
+	$(GO) test -race -run 'Shard|Partition' ./internal/sim/ ./internal/topology/ ./internal/network/
+	$(GO) test -race -short -run TestShardedRunMatchesSequential ./internal/core/
+
 # Full (non-short) race pass over the serving layer (and the canonical
 # hashing it keys on): the scheduler, the result cache, and the
 # coalescing map are the only cross-goroutine state the daemon has, and
@@ -103,6 +112,11 @@ bench:
 		| tee /tmp/nucanet-bench-fleet-$(BENCH_LABEL).txt
 	$(GO) run ./cmd/benchjson -o BENCH_fleet.json -label $(BENCH_LABEL) \
 		< /tmp/nucanet-bench-fleet-$(BENCH_LABEL).txt
+	$(GO) test -run=NONE -benchmem -count=$(BENCH_COUNT) \
+		-bench='BenchmarkShardedRun' . \
+		| tee /tmp/nucanet-bench-shard-$(BENCH_LABEL).txt
+	$(GO) run ./cmd/benchjson -o BENCH_shard.json -label $(BENCH_LABEL) \
+		< /tmp/nucanet-bench-shard-$(BENCH_LABEL).txt
 
 # Tiny end-to-end run with every telemetry probe on: trace, heatmap,
 # time series, at j=2 — exercises the full probe plumbing through the
@@ -112,6 +126,19 @@ smoke:
 		-heatmap -sample 100 -trace /tmp/nucasim-smoke.jsonl >/dev/null
 	@rm -f /tmp/nucasim-smoke.jsonl
 	@echo "telemetry smoke: ok"
+
+# Sharded-execution smoke through the real CLI: the same nucasim run at
+# -shards 1 and -shards 4 must print identical reports (timing stripped)
+# — the end-to-end bit-identity promise, exercised through the flag
+# plumbing rather than the test harness.
+shard-smoke:
+	$(GO) build -o /tmp/nucasim-shard ./cmd/nucasim
+	@/tmp/nucasim-shard -design A -n 600 -shards 1 | sed 's/ \[[0-9.]*s\]//' > /tmp/nucasim-shard-1.txt
+	@/tmp/nucasim-shard -design A -n 600 -shards 4 | sed 's/ \[[0-9.]*s\]//' > /tmp/nucasim-shard-4.txt
+	@diff /tmp/nucasim-shard-1.txt /tmp/nucasim-shard-4.txt || \
+		{ echo "shard smoke: -shards 4 diverged from -shards 1"; exit 1; }
+	@rm -f /tmp/nucasim-shard /tmp/nucasim-shard-1.txt /tmp/nucasim-shard-4.txt
+	@echo "shard smoke: ok"
 
 # Tiny router-engine Pareto sweep (every registered engine over designs
 # A/D/F/R under both schemes) so the area/latency/energy frontier
@@ -167,7 +194,7 @@ verify:
 	$(GO) run ./cmd/nucasim -verify-routing
 	$(GO) run ./cmd/nucasim -router bufferless -verify-routing
 
-check: fmt vet race racegraph racecache racerouter racefleet serverace conformance benchsmoke smoke pareto-smoke opt-smoke serve-smoke verify
+check: fmt vet race racegraph racecache racerouter racefleet raceshard serverace conformance benchsmoke smoke shard-smoke pareto-smoke opt-smoke serve-smoke verify
 
 clean:
 	$(GO) clean ./...

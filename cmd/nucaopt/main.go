@@ -42,8 +42,9 @@ func main() {
 		short   = flag.Int("shortlist", 3, "screening candidates graduating to confirmation")
 		benches = flag.String("benches", strings.Join(place.DefaultBenchmarks, ","),
 			"comma-separated scoring benchmark mix")
-		quiet = flag.Bool("q", false, "suppress per-wave progress")
-		jobs  = cliutil.Jobs(flag.CommandLine)
+		quiet  = flag.Bool("q", false, "suppress per-wave progress")
+		jobs   = cliutil.Jobs(flag.CommandLine)
+		shards = cliutil.Shards(flag.CommandLine)
 	)
 	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
@@ -59,6 +60,7 @@ func main() {
 		Shortlist:       *short,
 		Benchmarks:      strings.Split(*benches, ","),
 		Workers:         workers,
+		Shards:          *shards,
 		Policy:          policy.String(),
 		Mode:            mode.String(),
 	}

@@ -57,6 +57,7 @@ func main() {
 		window   = flag.Int("window", 8, "CPU outstanding-access window (MSHRs)")
 		blocking = flag.Float64("blocking", 0.35, "fraction of reads that stall the core")
 		jobs     = cliutil.Jobs(flag.CommandLine)
+		shards   = cliutil.Shards(flag.CommandLine)
 		tflags   = cliutil.Telemetry(flag.CommandLine)
 		verify   = flag.Bool("verify-routing", false,
 			"statically verify deadlock freedom of every catalogue design's routing, then exit")
@@ -98,6 +99,7 @@ func main() {
 			Benchmark: b, Accesses: *n, Seed: *seed,
 			CPU:       cpu.Config{Window: *window, BlockingProb: *blocking},
 			Telemetry: tcfg,
+			Shards:    *shards,
 		}
 	}
 	results, rep, err := core.NewEngine(workers).RunAll(opts)

@@ -57,6 +57,7 @@ func main() {
 		bench    = flag.String("bench", "", "benchmark for the single-benchmark experiments (default gcc)")
 		useFleet = flag.Bool("fleet", false, "evaluate sweeps on the bulk-synchronous fleet instead of per-run goroutines")
 		jobs     = cliutil.Jobs(flag.CommandLine)
+		shards   = cliutil.Shards(flag.CommandLine)
 		tflags   = cliutil.Telemetry(flag.CommandLine)
 	)
 	routerName := cliutil.Router(flag.CommandLine)
@@ -80,7 +81,7 @@ func main() {
 		Accesses: *n, Seed: *seed, Workers: workers,
 		PolicyName: policy.String(), ModeName: mode.String(),
 		RouterName: *routerName, Bench: *bench,
-		Telemetry: tflags.Config(), Fleet: *useFleet,
+		Telemetry: tflags.Config(), Fleet: *useFleet, Shards: *shards,
 	}
 	traceOut := *tflags.TracePath
 

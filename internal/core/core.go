@@ -42,6 +42,15 @@ type Options struct {
 	// Telemetry selects cycle-level probes (flit trace, heatmaps, time
 	// series). The zero value disables them all at zero cost.
 	Telemetry telemetry.Config
+	// Shards splits this one run's fabric across up to N goroutines
+	// advancing in conservative windows (see sim.NewShardedKernel and
+	// topology.Partition). Results are bit-identical to the sequential
+	// kernel at every value, so Shards is an execution knob, not a
+	// configuration: it is excluded from CanonicalKey (hash.go) and from
+	// Result comparability. 0 and 1 select the sequential kernel. The
+	// flit trace probe requires the sequential kernel (Telemetry.Trace
+	// with Shards > 1 is rejected).
+	Shards int
 }
 
 // DefaultOptions returns the baseline configuration: Design A, multicast

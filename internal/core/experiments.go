@@ -69,6 +69,10 @@ type ExpConfig struct {
 	// when one is linked in (see SetBulkRunner) — bit-identical results,
 	// shared preparation. False keeps the per-run goroutine engine.
 	Fleet bool
+	// Shards runs every simulation in the sweep on N kernel shards (the
+	// -shards flag). Purely an execution knob: any value produces
+	// byte-identical experiment output, pinned by the determinism matrix.
+	Shards int
 }
 
 // bench resolves the single-benchmark experiments' benchmark.
@@ -117,6 +121,7 @@ func (cfg ExpConfig) run(designID string, p cache.Policy, m cache.Mode, bench st
 	return Options{
 		DesignID: designID, Policy: p, Mode: m, Router: cfg.RouterName,
 		Benchmark: bench, Accesses: cfg.Accesses, Seed: cfg.Seed,
+		Shards: cfg.Shards,
 	}
 }
 
@@ -394,6 +399,7 @@ func PowerGatingSweep(cfg ExpConfig, bench string) ([]PowerCell, SweepReport, er
 		opts[i] = Options{
 			Design: &gated, Policy: p, Mode: m,
 			Benchmark: bench, Accesses: cfg.Accesses, Seed: cfg.Seed,
+			Shards: cfg.Shards,
 		}
 		out[i] = PowerCell{WaysOn: ways, CapacityKB: d.CapacityKB()}
 	}

@@ -23,6 +23,15 @@ var hashedOptionFields = []string{
 	"Accesses", "Seed", "CPU", "Telemetry",
 }
 
+// unhashedOptionFields lists the Options fields the canonical hash
+// deliberately ignores: execution knobs that cannot change the Result.
+// Shards is excluded because sharded runs are bit-identical to
+// sequential ones (the determinism matrix in shard_determinism_test.go
+// pins this), so a nucad cache entry computed at any shard count
+// serves every other. The coverage test asserts every Options field
+// appears in exactly one of the two lists.
+var unhashedOptionFields = []string{"Shards"}
+
 // canonicalRun is the normalized image of one Options value: the design
 // resolved through config.Resolve (so a catalogue id and a byte-equal
 // ad-hoc override hash identically) and the CPU config normalized the

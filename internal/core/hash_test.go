@@ -167,16 +167,46 @@ func TestCanonicalKeyCoversAllOptionFields(t *testing.T) {
 	for _, f := range hashedOptionFields {
 		covered[f] = true
 	}
+	for _, f := range unhashedOptionFields {
+		if covered[f] {
+			t.Errorf("Options.%s appears in both hashedOptionFields and unhashedOptionFields", f)
+		}
+		covered[f] = true
+	}
 	typ := reflect.TypeOf(Options{})
 	for i := 0; i < typ.NumField(); i++ {
 		name := typ.Field(i).Name
 		if !covered[name] {
-			t.Errorf("Options.%s is not covered by CanonicalKey: extend canonicalRun and hashedOptionFields in hash.go", name)
+			t.Errorf("Options.%s is not covered by CanonicalKey: extend canonicalRun and hashedOptionFields in hash.go (or justify excluding it in unhashedOptionFields)", name)
 		}
 		delete(covered, name)
 	}
 	for name := range covered {
-		t.Errorf("hashedOptionFields lists %q, which Options no longer has", name)
+		t.Errorf("hash.go lists %q, which Options no longer has", name)
+	}
+}
+
+// TestCanonicalKeyShardInvariance pins the Shards exclusion: the same
+// configuration hashes identically at every shard count, so a nucad
+// result cached at one setting serves requests at any other. This is
+// sound because sharded execution is bit-identical (see
+// TestShardedRunMatchesSequential).
+func TestCanonicalKeyShardInvariance(t *testing.T) {
+	base := DefaultOptions()
+	want, err := CanonicalKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		o := base
+		o.Shards = shards
+		got, err := CanonicalKey(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("shards=%d: key %s != shards=0 key %s", shards, got, want)
+		}
 	}
 }
 

@@ -185,6 +185,12 @@ func Prepare(opt Options, pc *PrepCache) (*Artifacts, error) {
 	if opt.Accesses <= 0 {
 		return nil, fmt.Errorf("core: accesses must be positive, got %d", opt.Accesses)
 	}
+	if opt.Shards < 0 {
+		return nil, fmt.Errorf("core: shards must be non-negative, got %d", opt.Shards)
+	}
+	if opt.Shards > 1 && opt.Telemetry.Trace {
+		return nil, fmt.Errorf("core: the flit trace probe requires the sequential kernel (shards=%d with trace)", opt.Shards)
+	}
 	if err := cache.ValidatePair(opt.Policy, opt.Mode); err != nil {
 		return nil, err
 	}
@@ -237,9 +243,24 @@ type Instance struct {
 // non-nil, is the router-construction arena lanes of a fleet batch share
 // (see router.Arena); it must not be shared across goroutines.
 func NewInstance(art *Artifacts, ar *router.Arena) (*Instance, error) {
-	k := sim.NewKernel()
+	var k *sim.Kernel
+	var plan *topology.Plan
+	if art.Opt.Shards > 1 {
+		// Partition the fabric; the planner clamps to what the graph
+		// supports and may come back with a single shard, in which case
+		// the plain sequential kernel is the same machine with less
+		// bookkeeping.
+		if plan = topology.Partition(art.Topo, art.Opt.Shards); plan.Shards > 1 {
+			k = sim.NewShardedKernel(plan.Shards)
+		} else {
+			plan = nil
+		}
+	}
+	if k == nil {
+		k = sim.NewKernel()
+	}
 	sys, err := cache.NewPrebuilt(k, art.Design, art.Opt.Policy, art.Opt.Mode, cache.Prebuilt{
-		Topo: art.Topo, Alg: art.Table, Arena: ar, Prechecked: true,
+		Topo: art.Topo, Alg: art.Table, Arena: ar, Prechecked: true, Plan: plan,
 	})
 	if err != nil {
 		return nil, err

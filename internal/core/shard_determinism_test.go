@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nucanet/internal/router"
+	"nucanet/internal/telemetry"
+)
+
+// shardFingerprint extends the determinism fingerprint with the
+// telemetry channels sharded runs keep — the spatial heatmap and the
+// occupancy time series, rendered to bytes. (The flit trace requires
+// the sequential kernel and is gated off by Prepare.)
+func shardFingerprint(t *testing.T, r Result) []byte {
+	t.Helper()
+	buf := bytes.NewBuffer(fingerprint(t, []Result{r}))
+	tel := r.Telemetry
+	if tel == nil {
+		t.Fatal("nil telemetry collector")
+	}
+	if tel.Heat == nil || tel.Series == nil {
+		t.Fatal("heatmap/series probes not wired")
+	}
+	tel.Heat.Render(buf)
+	tel.Heat.RenderLinks(buf, 16)
+	tel.Heat.RenderBanks(buf)
+	tel.Series.Render(buf)
+	return buf.Bytes()
+}
+
+// TestShardedRunMatchesSequential is the sharded kernel's determinism
+// matrix: every Table 3 topology family crossed with every registered
+// router engine, run at 2, 4, and 8 shards with the parallel worker
+// path forced on, must reproduce the sequential (shards=0) Result —
+// every measurement, the full latency accumulator, and the telemetry
+// heatmap and time series — byte for byte. Run under -race (make
+// raceshard) this doubles as the data-race audit of the wavefront and
+// mailbox machinery.
+func TestShardedRunMatchesSequential(t *testing.T) {
+	accesses := 400
+	if testing.Short() {
+		accesses = 120
+	}
+	for _, id := range []string{"A", "D", "F", "R"} {
+		for _, engine := range router.Names() {
+			id, engine := id, engine
+			t.Run(fmt.Sprintf("%s/%s", id, engine), func(t *testing.T) {
+				t.Parallel()
+				opt := DefaultOptions()
+				opt.DesignID = id
+				opt.Router = engine
+				opt.Accesses = accesses
+				opt.Telemetry = telemetry.Config{Heatmap: true, SampleEvery: 64}
+				if _, err := Prepare(opt, nil); err != nil {
+					t.Skipf("combination rejected statically: %v", err)
+				}
+				seq, err := Run(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := shardFingerprint(t, seq)
+				for _, shards := range []int{2, 4, 8} {
+					o := opt
+					o.Shards = shards
+					art, err := Prepare(o, nil)
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					in, err := NewInstance(art, nil)
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					// Force the worker-pool path even on one CPU so the
+					// wavefront protocol itself is what this matrix (and
+					// its -race runs) exercises; inline windows are the
+					// merge-walk of the same schedule.
+					in.K.SetParallel(true)
+					res, err := in.RunToCompletion()
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					if got := shardFingerprint(t, res); !bytes.Equal(got, want) {
+						t.Errorf("shards=%d diverged from sequential run (kernel shards: %d)\nsequential:\n%s\nsharded:\n%s",
+							shards, in.K.Shards(), want, got)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package network
+
+import (
+	"testing"
+
+	"nucanet/internal/flit"
+	"nucanet/internal/router"
+	"nucanet/internal/sim"
+	"nucanet/internal/topology"
+)
+
+// shardDelivery snapshots one delivery's identifying fields at Deliver
+// time: packets are pooled, so holding the pointer (like collector
+// does) would read recycled contents after the run.
+type shardDelivery struct {
+	kind flit.Kind
+	dst  topology.NodeID
+	addr uint64
+	at   int64
+}
+
+type shardCollector struct {
+	got []shardDelivery
+}
+
+func (c *shardCollector) Deliver(pkt *flit.Packet, now int64) {
+	c.got = append(c.got, shardDelivery{pkt.Kind, pkt.Dst, pkt.Addr, now})
+}
+
+// shardRig is the rig pattern with snapshotting collectors, buildable
+// on the plain kernel or on a partitioned one (worker path forced),
+// where every router lands on its plan shard's facade and cut links
+// route through the window machinery.
+type shardRig struct {
+	k     *sim.Kernel
+	topo  *topology.Topology
+	net   *Network
+	banks []*shardCollector
+}
+
+func newShardRig(t *testing.T, topo *topology.Topology, shards int) *shardRig {
+	t.Helper()
+	k := sim.NewKernel()
+	opts := BuildOpts{}
+	if shards > 1 {
+		plan := topology.Partition(topo, shards)
+		if plan.Shards != shards {
+			t.Fatalf("Partition produced %d shards, want %d", plan.Shards, shards)
+		}
+		k = sim.NewShardedKernel(plan.Shards)
+		k.SetParallel(true)
+		opts.Plan = plan
+	}
+	n, err := NewOpts(k, topo, mustFor(topo), router.DefaultConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &shardRig{k: k, topo: topo, net: n}
+	r.banks = make([]*shardCollector, topo.NumNodes())
+	for id := 0; id < topo.NumNodes(); id++ {
+		r.banks[id] = &shardCollector{}
+		n.Attach(id, flit.ToBank, r.banks[id])
+	}
+	n.Attach(topo.Core, flit.ToCore, &shardCollector{})
+	n.Attach(topo.Mem, flit.ToMem, &shardCollector{})
+	return r
+}
+
+// floodColumns launches one multicast block packet down every column
+// plus a spray of unicast reads, then runs to quiescence — enough
+// traffic that every cut link carries flits in both directions.
+func floodColumns(t *testing.T, r *shardRig) {
+	t.Helper()
+	for c := 0; c < 16; c++ {
+		r.net.Send(&flit.Packet{
+			Kind: flit.WriteData, Src: r.topo.Core,
+			Dst: r.topo.NodeAt(c, 15), DstEp: flit.ToBank,
+			PathDeliver: true,
+		}, r.k.Now())
+		p := r.net.NewPacket(flit.ReadReq, r.topo.Core, r.topo.NodeAt(c, 7), flit.ToBank, uint64(0x40*(c+1)))
+		r.net.Send(p, r.k.Now())
+	}
+	if _, idle := r.k.Run(4000); !idle {
+		t.Fatal("network did not quiesce within 4000 cycles")
+	}
+	if got := r.net.InFlight(); got != 0 {
+		t.Fatalf("in-flight flits after quiescence = %d, want 0", got)
+	}
+}
+
+// TestShardedNetworkMatchesSequential floods a 16x16 mesh on the plain
+// kernel and on 2- and 4-shard partitioned kernels (worker path forced)
+// and requires identical per-endpoint delivery sequences — packet kind,
+// destination, and arrival cycle — plus identical router statistics.
+func TestShardedNetworkMatchesSequential(t *testing.T) {
+	seq := newShardRig(t, mesh16(), 1)
+	floodColumns(t, seq)
+	seqStats := seq.net.Stats()
+
+	for _, shards := range []int{2, 4} {
+		sh := newShardRig(t, mesh16(), shards)
+		floodColumns(t, sh)
+		if got, want := sh.net.Stats(), seqStats; got != want {
+			t.Errorf("shards=%d: stats = %+v, want %+v", shards, got, want)
+		}
+		for id := range sh.banks {
+			a, b := seq.banks[id].got, sh.banks[id].got
+			if len(a) != len(b) {
+				t.Fatalf("shards=%d: bank %d got %d deliveries, sequential %d", shards, id, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("shards=%d: bank %d delivery %d = %+v, sequential %+v",
+						shards, id, i, b[i], a[i])
+				}
+			}
+		}
+		if live := sh.net.PoolStats().Live; live != 0 {
+			t.Errorf("shards=%d: %d pooled packets leaked", shards, live)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+// TestServeShardedServerIsCacheAndBodyInvariant pins the two halves of
+// the server-side sharding contract: a server configured with kernel
+// shards produces bodies byte-identical to a sequential server (the
+// content address keys the model, not the execution), and its warm
+// cache serves hits exactly like a sequential one — the shard setting
+// never invalidates or forks the cache.
+func TestServeShardedServerIsCacheAndBodyInvariant(t *testing.T) {
+	_, seqTS := newTestServer(t, Config{Workers: 2})
+	_, seqBody := postRun(t, seqTS, detReq)
+
+	_, shTS := newTestServer(t, Config{Workers: 2, Shards: 4})
+	resp, cold := postRun(t, shTS, detReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded cold: status %d: %s", resp.StatusCode, cold)
+	}
+	if got := resp.Header.Get("X-Nucad-Cache"); got != "miss" {
+		t.Fatalf("sharded cold: X-Nucad-Cache = %q, want miss", got)
+	}
+	if !bytes.Equal(seqBody, cold) {
+		t.Fatalf("sharded server body differs from sequential server:\nseq:     %s\nsharded: %s",
+			seqBody, cold)
+	}
+
+	resp, warm := postRun(t, shTS, detReq)
+	if got := resp.Header.Get("X-Nucad-Cache"); got != "hit" {
+		t.Fatalf("sharded warm: X-Nucad-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("sharded warm hit differs from its own cold body")
+	}
+}

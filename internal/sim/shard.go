@@ -1,0 +1,572 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the sharded kernel: one simulation advanced by N
+// goroutines with results bit-identical to the sequential Kernel.
+//
+// Execution model. Components are split into shard components (routers,
+// registered through a ShardFacade) and root components (protocol
+// agents, controller, memory, CPU, observer — registered through the
+// root facade). Each active cycle is one *window* with two phases:
+//
+//   Phase 1 (parallel): every shard sweeps its due components in
+//   ascending id order. Cut-adjacent routers on different shards are
+//   pairwise ordered by a wavefront protocol (see CutWait): each shard
+//   publishes its sweep progress through an atomic mark, and a cut
+//   router spins until every lower-id cut peer's shard has swept past
+//   that peer. Cross-shard effects that must not act until the cycle
+//   completes — activations of another shard's components, endpoint
+//   deliveries, deferred credit increments — are staged in per-shard
+//   lists instead of applied in place.
+//
+//   Phase 2 (the driving goroutine, after a barrier): staged
+//   activations drain in shard order, the window hook (the network's
+//   staged-delivery flush) runs, root components due this cycle tick in
+//   ascending id order, and the per-shard DeferIncr/Defer lists apply —
+//   shards first, root last, matching the sequential kernel's
+//   everything-ticks-then-commits order.
+//
+// Why this is bit-identical to the sequential kernel: within a cycle
+// the sequential kernel ticks all due components in ascending global id
+// order. Shard components (router ids) all precede root components
+// (registered later), so phase 1 + phase 2 preserves the global order
+// across the two groups. Within phase 1, routers only interact with
+// link neighbors, every cross-shard link is a cut, and the wavefront
+// wait enforces exactly the ascending-id order for each cut-adjacent
+// pair — the only cross-shard orderings that matter. Staged effects are
+// drained in a fixed order that reproduces the sequential outcome:
+// activations target the next cycle in both schedules, deliveries
+// replay in ejecting-router id order (see internal/network), and
+// increments commute. Packets injected during phase 2 land in router
+// queues with arrival stamps that the engines' pipeline gating
+// (arrived + Stages > now, Stages >= 1) makes non-actionable until the
+// next cycle, exactly as a packet injected mid-sweep sequentially.
+//
+// Windows and idle skipping: like the sequential kernel, the sharded
+// kernel only simulates active cycles — nextTime scans all shards'
+// schedules and the clock jumps to the earliest. Cross-shard links of
+// >= 1 cycle latency (topology.Plan.MinCutDelay) are what make a
+// single-cycle conservative window sufficient: no shard can observe
+// another's same-cycle state except through the cut links the wavefront
+// already orders.
+//
+// Step and RunUntil execute windows inline on the calling goroutine
+// (phase 1 becomes a merge-walk of the shard schedules in ascending id
+// order — literally the sequential order, no cut waits needed). Run
+// spawns the worker pool when parallelism is available; the inline and
+// parallel paths produce identical results by construction, so a
+// single-CPU host or a lockstep caller (internal/fleet) silently gets
+// the sequential schedule.
+
+// CutWait names one cut-adjacent peer that must tick before the owning
+// component within a cycle: the peer's shard must have swept past Kid
+// (which is strictly lower than the owner's id) before the owner may
+// tick. See Kernel.SetCutWaits.
+type CutWait struct {
+	Shard int // the peer's home shard
+	Kid   int // the peer's kernel id; must be < the owner's id
+}
+
+// paddedProg keeps each shard's progress mark on its own cache line —
+// workers hammer their own mark and spin on neighbors'.
+type paddedProg struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// shardState is one execution context's slice of kernel state. Index 0
+// of sharded.st is the root context, index s+1 is shard s. All fields
+// mirror the sequential Kernel's; cur/pos hold the in-flight cycle's
+// sorted schedule, xact stages cross-shard activations.
+type shardState struct {
+	next   []int
+	spare  []int
+	cur    []int
+	pos    int
+	events eventHeap
+	seq    int
+	incrs  []*int
+	defers []func()
+	xact   []int
+	ticks  uint64
+}
+
+// barrier is a sense-reversing spin barrier. wait returns once all
+// parties have arrived; the spin yields the processor after a bounded
+// number of iterations so oversubscribed hosts make progress.
+type barrier struct {
+	parties int32
+	count   atomic.Int32
+	sense   atomic.Uint32
+}
+
+func (b *barrier) wait() {
+	gen := b.sense.Load()
+	if b.count.Add(1) == b.parties {
+		b.count.Store(0)
+		b.sense.Add(1)
+		return
+	}
+	for spins := 0; b.sense.Load() == gen; spins++ {
+		if spins > 200 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// sharded is the shared state behind every facade of one sharded kernel.
+type sharded struct {
+	now     int64
+	comps   []Component
+	shardOf []int32 // comp id -> home shard; -1 = root
+	pending []bool
+	waits   [][]CutWait // comp id -> cut-wait list (nil for most)
+	mark    []bool      // comp id publishes wavefront progress before ticking
+
+	n     int          // shard count
+	st    []shardState // [0] root, [1+s] shard s
+	progs []paddedProg // per-shard wavefront marks
+
+	facades  []*Kernel // [0] root, [1+s] shard s
+	onWindow func(now int64)
+
+	parallel bool // drive Run windows on worker goroutines
+	inPhase1 bool // written by the coordinator between phases
+
+	startB, endB barrier
+	stop         bool
+	workers      sync.WaitGroup
+	started      bool
+}
+
+// NewShardedKernel returns the root facade of a kernel whose shard
+// components execute on up to `shards` goroutines. Root-registered
+// components behave exactly as on a sequential kernel; shard components
+// are registered through ShardFacade. Results are bit-identical to
+// NewKernel at any shard count. Parallel execution engages in Run when
+// more than one CPU is available (override with SetParallel); Step and
+// RunUntil always execute inline.
+func NewShardedKernel(shards int) *Kernel {
+	if shards < 1 {
+		shards = 1
+	}
+	sh := &sharded{
+		n:        shards,
+		st:       make([]shardState, shards+1),
+		progs:    make([]paddedProg, shards),
+		parallel: runtime.GOMAXPROCS(0) > 1,
+	}
+	sh.facades = make([]*Kernel, shards+1)
+	for i := range sh.facades {
+		sh.facades[i] = &Kernel{sh: sh, shard: int32(i - 1)}
+	}
+	return sh.facades[0]
+}
+
+// Shards returns the kernel's shard count (1 for a sequential kernel).
+func (k *Kernel) Shards() int {
+	if k.sh == nil {
+		return 1
+	}
+	return k.sh.n
+}
+
+// ShardFacade returns the facade components of shard s register
+// through. Facades share one clock and id space; a component's facade
+// determines which goroutine ticks it.
+func (k *Kernel) ShardFacade(s int) *Kernel {
+	if k.sh == nil {
+		panic("sim: ShardFacade on a sequential kernel")
+	}
+	return k.sh.facades[s+1]
+}
+
+// SetParallel overrides whether Run drives windows on worker goroutines
+// (the default is true when GOMAXPROCS > 1). Forcing it on lets race
+// tests exercise the worker path on single-CPU hosts; results are
+// identical either way.
+func (k *Kernel) SetParallel(on bool) {
+	if k.sh != nil {
+		k.sh.parallel = on
+	}
+}
+
+// ShardPhase reports whether the kernel is inside a window's parallel
+// phase — the network's delivery wrapper stages endpoint deliveries
+// during phase 1 and executes them inline otherwise.
+func (k *Kernel) ShardPhase() bool {
+	return k.sh != nil && k.sh.inPhase1
+}
+
+// SetCutWaits installs the within-cycle ordering constraints for one
+// cut-adjacent shard component (see CutWait), and marks it as a
+// wavefront publisher: its shard stores the component's id in the
+// shard's progress mark before ticking it, so peers in other shards can
+// order themselves against it — call with an empty wait list for a
+// component that only needs to be waited *on*. Every peer must have a
+// strictly lower kernel id and live on a different shard; sweeps tick
+// ascending ids and only ever wait on lower ids, which keeps the
+// wavefront deadlock-free. Call during construction, before the first
+// Step/Run.
+func (k *Kernel) SetCutWaits(kid int, waits []CutWait) {
+	sh := k.sh
+	if sh == nil {
+		return
+	}
+	sh.mark[kid] = true
+	own := sh.shardOf[kid]
+	ws := append([]CutWait(nil), waits...)
+	for _, w := range ws {
+		if w.Kid >= kid {
+			panic(fmt.Sprintf("sim: cut wait on %d >= owner %d", w.Kid, kid))
+		}
+		if int32(w.Shard) == own || w.Shard < 0 || w.Shard >= sh.n {
+			panic(fmt.Sprintf("sim: cut wait for %d names shard %d (owner shard %d of %d)", kid, w.Shard, own, sh.n))
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Shard != ws[j].Shard {
+			return ws[i].Shard < ws[j].Shard
+		}
+		return ws[i].Kid < ws[j].Kid
+	})
+	sh.waits[kid] = ws
+}
+
+// SetOnWindow installs the window-boundary hook, run by the driving
+// goroutine in phase 2 of every window after staged activations drain
+// and before root components tick — the network flushes staged
+// deliveries (and recycled packets) here.
+func (k *Kernel) SetOnWindow(f func(now int64)) {
+	if k.sh == nil {
+		panic("sim: SetOnWindow on a sequential kernel")
+	}
+	k.sh.onWindow = f
+}
+
+func (sh *sharded) register(from int32, c Component) int {
+	id := len(sh.comps)
+	sh.comps = append(sh.comps, c)
+	sh.shardOf = append(sh.shardOf, from)
+	sh.pending = append(sh.pending, false)
+	sh.waits = append(sh.waits, nil)
+	sh.mark = append(sh.mark, false)
+	return id
+}
+
+func (sh *sharded) activate(from int32, id int) {
+	home := sh.shardOf[id]
+	if from >= 0 && home != from {
+		// Cross-shard activation from a phase-1 sweep: stage it in the
+		// calling shard's list; the coordinator applies it at the window
+		// boundary, targeting the next cycle just as a direct Activate
+		// during a sequential sweep would.
+		st := &sh.st[from+1]
+		st.xact = append(st.xact, id)
+		return
+	}
+	if !sh.pending[id] {
+		sh.pending[id] = true
+		st := &sh.st[home+1]
+		st.next = append(st.next, id)
+	}
+}
+
+func (sh *sharded) wakeAt(from int32, t int64, id int) {
+	if t <= sh.now {
+		sh.activate(from, id)
+		return
+	}
+	home := sh.shardOf[id]
+	if from >= 0 && home != from {
+		// Never happens in the current system (audited: timed wakeups are
+		// all self-wakes); staging timed cross-shard wakeups would need a
+		// mailbox with the event payload, so fail loudly instead.
+		panic("sim: cross-shard WakeAt from a shard sweep")
+	}
+	st := &sh.st[home+1]
+	st.seq++
+	st.events.push(event{at: t, seq: st.seq, id: id})
+}
+
+func (sh *sharded) idle() bool {
+	for i := range sh.st {
+		if len(sh.st[i].next) > 0 || len(sh.st[i].events) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (sh *sharded) nextTime() (int64, bool) {
+	ok := false
+	var best int64
+	for i := range sh.st {
+		st := &sh.st[i]
+		if len(st.next) > 0 {
+			return sh.now + 1, true
+		}
+		if t, e := st.events.peek(); e && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+func (sh *sharded) ticksTotal() uint64 {
+	var total uint64
+	for i := range sh.st {
+		total += sh.st[i].ticks
+	}
+	return total
+}
+
+// collect snapshots context i's schedule for the current cycle into
+// st.cur: the activation list plus events due now, sorted ascending —
+// the sequential kernel's cur construction per context.
+func (sh *sharded) collect(i int) {
+	st := &sh.st[i]
+	cur := st.next
+	st.next = st.spare[:0]
+	for _, id := range cur {
+		sh.pending[id] = false
+	}
+	for len(st.events) > 0 && st.events[0].at <= sh.now {
+		ev := st.events.pop()
+		if !sh.pending[ev.id] {
+			cur = append(cur, ev.id)
+		}
+	}
+	sort.Ints(cur)
+	st.cur = cur
+	st.pos = 0
+}
+
+func (sh *sharded) retire(i int) {
+	st := &sh.st[i]
+	st.spare = st.cur[:0]
+	st.cur = nil
+}
+
+// sweepShard is one shard's phase-1 sweep on a worker goroutine: tick
+// due components ascending, publishing wavefront progress at cut
+// routers and spinning on lower-id cut peers.
+func (sh *sharded) sweepShard(s int) {
+	sh.collect(s + 1)
+	st := &sh.st[s+1]
+	fac := sh.facades[s+1]
+	prog := &sh.progs[s].v
+	prev := -1
+	for _, id := range st.cur {
+		if id == prev { // dedupe (event + activation overlap)
+			continue
+		}
+		prev = id
+		if sh.mark[id] {
+			prog.Store(int64(id))
+			for _, cw := range sh.waits[id] {
+				p := &sh.progs[cw.Shard].v
+				for spins := 0; p.Load() <= int64(cw.Kid); spins++ {
+					if spins > 200 {
+						runtime.Gosched()
+					}
+				}
+			}
+		}
+		st.ticks++
+		if sh.comps[id].Tick(sh.now) {
+			fac.Activate(id)
+		}
+	}
+	prog.Store(math.MaxInt64)
+	sh.retire(s + 1)
+}
+
+// windowInline executes one window's phase 1 on the calling goroutine
+// by merge-walking the shard schedules in ascending id order — exactly
+// the sequential tick order, so no wavefront machinery is needed.
+// Effects still stage through the facades, keeping the schedule
+// identical to the parallel path.
+func (sh *sharded) windowInline() {
+	for i := 1; i <= sh.n; i++ {
+		sh.collect(i)
+	}
+	sh.inPhase1 = true
+	prev := -1
+	for {
+		best := -1
+		for i := 1; i <= sh.n; i++ {
+			st := &sh.st[i]
+			if st.pos < len(st.cur) &&
+				(best < 0 || st.cur[st.pos] < sh.st[best].cur[sh.st[best].pos]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st := &sh.st[best]
+		id := st.cur[st.pos]
+		st.pos++
+		if id == prev {
+			continue
+		}
+		prev = id
+		st.ticks++
+		if sh.comps[id].Tick(sh.now) {
+			sh.facades[best].Activate(id)
+		}
+	}
+	for i := 1; i <= sh.n; i++ {
+		sh.retire(i)
+	}
+	sh.inPhase1 = false
+	sh.windowTail()
+}
+
+// windowTail is phase 2, always on the driving goroutine.
+func (sh *sharded) windowTail() {
+	// Snapshot root's due set before anything staged applies: an
+	// activation staged or delivered during this window targets the next
+	// cycle, exactly as in the sequential kernel.
+	sh.collect(0)
+	// Staged cross-shard activations, in shard order. Content matches
+	// the sequential schedule; within-cycle append order is irrelevant
+	// because collect sorts.
+	for i := 1; i <= sh.n; i++ {
+		st := &sh.st[i]
+		for _, id := range st.xact {
+			if !sh.pending[id] {
+				sh.pending[id] = true
+				home := &sh.st[sh.shardOf[id]+1]
+				home.next = append(home.next, id)
+			}
+		}
+		st.xact = st.xact[:0]
+	}
+	if sh.onWindow != nil {
+		sh.onWindow(sh.now)
+	}
+	st := &sh.st[0]
+	root := sh.facades[0]
+	prev := -1
+	for _, id := range st.cur {
+		if id == prev {
+			continue
+		}
+		prev = id
+		st.ticks++
+		if sh.comps[id].Tick(sh.now) {
+			root.Activate(id)
+		}
+	}
+	sh.retire(0)
+	// End-of-cycle commits after every tick of the cycle, as in the
+	// sequential kernel: shard-staged increments (recorded in phase 1)
+	// first, root's last. Increment order across shards is immaterial —
+	// they commute — and Defer ordering follows the same rule.
+	for i := 1; i <= sh.n; i++ {
+		sh.applyEnd(i)
+	}
+	sh.applyEnd(0)
+}
+
+func (sh *sharded) applyEnd(i int) {
+	st := &sh.st[i]
+	if len(st.incrs) > 0 {
+		for _, ctr := range st.incrs {
+			(*ctr)++
+		}
+		st.incrs = st.incrs[:0]
+	}
+	if len(st.defers) > 0 {
+		for _, f := range st.defers {
+			f()
+		}
+		st.defers = st.defers[:0]
+	}
+}
+
+func (sh *sharded) step() bool {
+	t, ok := sh.nextTime()
+	if !ok {
+		return false
+	}
+	sh.now = t
+	sh.windowInline()
+	return true
+}
+
+func (sh *sharded) run(maxCycles int64) (cycles int64, idle bool) {
+	start := sh.now
+	limit := start + maxCycles
+	if sh.parallel && sh.n > 1 {
+		sh.startWorkers()
+		defer sh.stopWorkers()
+		for sh.now < limit {
+			t, ok := sh.nextTime()
+			if !ok {
+				return sh.now - start, true
+			}
+			sh.now = t
+			for i := range sh.progs {
+				sh.progs[i].v.Store(-1)
+			}
+			sh.inPhase1 = true
+			sh.startB.wait() // release the workers into this window
+			sh.sweepShard(0) // the driving goroutine is shard 0's worker
+			sh.endB.wait()   // all sweeps complete
+			sh.inPhase1 = false
+			sh.windowTail()
+		}
+		return sh.now - start, false
+	}
+	for sh.now < limit {
+		if !sh.step() {
+			return sh.now - start, true
+		}
+	}
+	return sh.now - start, false
+}
+
+func (sh *sharded) startWorkers() {
+	if sh.started {
+		return
+	}
+	sh.started = true
+	sh.stop = false
+	sh.startB.parties = int32(sh.n)
+	sh.endB.parties = int32(sh.n)
+	for s := 1; s < sh.n; s++ {
+		sh.workers.Add(1)
+		go func(s int) {
+			defer sh.workers.Done()
+			for {
+				sh.startB.wait()
+				if sh.stop {
+					return
+				}
+				sh.sweepShard(s)
+				sh.endB.wait()
+			}
+		}(s)
+	}
+}
+
+func (sh *sharded) stopWorkers() {
+	if !sh.started {
+		return
+	}
+	sh.stop = true
+	sh.startB.wait() // wake the workers; they observe stop and exit
+	sh.workers.Wait()
+	sh.started = false
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// scriptComp drives a deterministic mix of every kernel interaction —
+// self-reactivation, neighbor activation (cross-shard when the
+// neighbor lives elsewhere), timed self-wakeups, and deferred counter
+// increments — while logging every tick it receives. Each component
+// writes only its own log slot, so logs are race-free under any
+// correct schedule.
+type scriptComp struct {
+	k       *Kernel
+	id      int // logical index, not kernel id
+	kid     int
+	n       int
+	peers   []*scriptComp
+	log     []string
+	counter *int
+}
+
+func (c *scriptComp) Tick(now int64) bool {
+	c.log = append(c.log, fmt.Sprintf("%d@%d", c.id, now))
+	if (now+int64(c.id))%3 == 0 {
+		c.k.Activate(c.peers[(c.id+1)%c.n].kid)
+	}
+	if (now+int64(c.id))%5 == 0 {
+		c.k.WakeAt(now+3+int64(c.id%4), c.kid)
+	}
+	c.k.DeferIncr(c.counter)
+	return (now+int64(c.id))%2 == 0
+}
+
+// buildScript registers n scripted components: on a sequential kernel
+// all together, on a sharded kernel round-robin across the shard
+// facades so activations constantly cross shards.
+func buildScript(root *Kernel, n, shards int) ([]*scriptComp, *int) {
+	counter := new(int)
+	comps := make([]*scriptComp, n)
+	for i := range comps {
+		k := root
+		if shards > 1 {
+			k = root.ShardFacade(i % shards)
+		}
+		comps[i] = &scriptComp{k: k, id: i, n: n, counter: counter}
+		comps[i].kid = k.Register(comps[i])
+	}
+	for _, c := range comps {
+		c.peers = comps
+	}
+	return comps, counter
+}
+
+// TestShardedKernelMatchesSequential runs the same component script on
+// the sequential kernel and on sharded kernels (inline and forced-
+// parallel, several shard counts) and requires identical tick logs,
+// clocks, tick totals, and deferred-counter results.
+func TestShardedKernelMatchesSequential(t *testing.T) {
+	const n = 12
+	run := func(root *Kernel, shards int, parallel bool) ([][]string, int, int64, uint64, int64, bool) {
+		comps, counter := buildScript(root, n, shards)
+		root.SetParallel(parallel)
+		root.Activate(comps[0].kid)
+		root.Activate(comps[n/2].kid)
+		cycles, idle := root.Run(400)
+		logs := make([][]string, n)
+		for i, c := range comps {
+			logs[i] = c.log
+		}
+		return logs, *counter, root.Now(), root.Ticks(), cycles, idle
+	}
+	wantLogs, wantCounter, wantNow, wantTicks, wantCycles, wantIdle := run(NewKernel(), 1, false)
+	if wantTicks == 0 {
+		t.Fatal("sequential reference did no work")
+	}
+	for _, shards := range []int{2, 3, 4} {
+		for _, parallel := range []bool{false, true} {
+			name := fmt.Sprintf("shards=%d/parallel=%v", shards, parallel)
+			logs, counter, now, ticks, cycles, idle := run(NewShardedKernel(shards), shards, parallel)
+			if !reflect.DeepEqual(logs, wantLogs) {
+				t.Errorf("%s: tick logs diverge from sequential", name)
+			}
+			if counter != wantCounter || now != wantNow || ticks != wantTicks ||
+				cycles != wantCycles || idle != wantIdle {
+				t.Errorf("%s: (counter,now,ticks,cycles,idle)=(%d,%d,%d,%d,%v), want (%d,%d,%d,%d,%v)",
+					name, counter, now, ticks, cycles, idle,
+					wantCounter, wantNow, wantTicks, wantCycles, wantIdle)
+			}
+		}
+	}
+}
+
+// TestShardedStepAndRunUntilMatchRun pins that the inline window paths
+// (Step, RunUntil — what the fleet's lockstep schedule uses) execute
+// the same schedule as Run.
+func TestShardedStepAndRunUntilMatchRun(t *testing.T) {
+	const n = 8
+	ref := NewShardedKernel(2)
+	refComps, refCounter := buildScript(ref, n, 2)
+	ref.Activate(refComps[0].kid)
+	ref.Run(200)
+
+	k := NewShardedKernel(2)
+	comps, counter := buildScript(k, n, 2)
+	k.Activate(comps[0].kid)
+	for horizon := int64(10); ; horizon += 10 {
+		if k.RunUntil(horizon) {
+			break
+		}
+	}
+	if k.Now() != ref.Now() || *counter != *refCounter || k.Ticks() != ref.Ticks() {
+		t.Errorf("RunUntil: (now,counter,ticks)=(%d,%d,%d), Run got (%d,%d,%d)",
+			k.Now(), *counter, k.Ticks(), ref.Now(), *refCounter, ref.Ticks())
+	}
+	for i := range comps {
+		if !reflect.DeepEqual(comps[i].log, refComps[i].log) {
+			t.Fatalf("RunUntil: component %d log diverges", i)
+		}
+	}
+}
+
+// orderedComp appends to a log shared with a cut peer on another shard
+// — safe only because the wavefront cut waits order the two ticks. The
+// race detector turns any ordering hole into a failure.
+type orderedComp struct {
+	kid int
+	tag string
+	log *[]string
+}
+
+func (c *orderedComp) Tick(now int64) bool {
+	*c.log = append(*c.log, fmt.Sprintf("%s@%d", c.tag, now))
+	return true
+}
+
+// TestShardedWavefrontOrdersCutPeers forces the parallel worker path
+// and checks that a cut pair ticks in ascending id order within every
+// cycle, via a shared log that is only race-free when the wavefront
+// holds.
+func TestShardedWavefrontOrdersCutPeers(t *testing.T) {
+	root := NewShardedKernel(2)
+	root.SetParallel(true)
+	var log []string
+	a := &orderedComp{tag: "a", log: &log}
+	b := &orderedComp{tag: "b", log: &log}
+	a.kid = root.ShardFacade(0).Register(a)
+	b.kid = root.ShardFacade(1).Register(b)
+	root.SetCutWaits(a.kid, nil) // publisher only
+	root.SetCutWaits(b.kid, []CutWait{{Shard: 0, Kid: a.kid}})
+	root.Activate(a.kid)
+	root.Activate(b.kid)
+	const cycles = 200
+	root.Run(cycles)
+	if len(log) != 2*cycles {
+		t.Fatalf("log has %d entries, want %d", len(log), 2*cycles)
+	}
+	for i := 0; i < len(log); i += 2 {
+		now := int64(i/2 + 1)
+		if want := fmt.Sprintf("a@%d", now); log[i] != want {
+			t.Fatalf("entry %d = %q, want %q", i, log[i], want)
+		}
+		if want := fmt.Sprintf("b@%d", now); log[i+1] != want {
+			t.Fatalf("entry %d = %q, want %q", i+1, log[i+1], want)
+		}
+	}
+}
+
+// TestShardedKernelIdleSkip checks that the sharded clock jumps over
+// dead cycles to the earliest event across all shards, like the
+// sequential kernel.
+func TestShardedKernelIdleSkip(t *testing.T) {
+	root := NewShardedKernel(2)
+	var log []string
+	a := &orderedComp{tag: "a", log: &log}
+	a.kid = root.ShardFacade(0).Register(a)
+	done := &orderedComp{tag: "b", log: &log}
+	done.kid = root.ShardFacade(1).Register(done)
+	root.ShardFacade(0).WakeAt(100, a.kid)
+	root.ShardFacade(1).WakeAt(400, done.kid)
+	if t0, ok := root.NextTime(); !ok || t0 != 100 {
+		t.Fatalf("NextTime = %d,%v want 100,true", t0, ok)
+	}
+	if !root.Step() {
+		t.Fatal("Step: idle")
+	}
+	if root.Now() != 100 {
+		t.Fatalf("Now = %d after first step, want 100", root.Now())
+	}
+}

@@ -1,0 +1,201 @@
+package topology
+
+// Partition cuts a registered graph into shards for the sharded
+// simulation kernel (sim.NewShardedKernel): every node is assigned a
+// home shard, and the plan reports each directed link crossing a shard
+// boundary plus the minimum latency over those cut links. The cut-link
+// latency is the conservative-window bound — neighbor shards cannot
+// influence each other faster than their slowest coupling, so a window
+// of MinCutDelay cycles is safe to run without cross-shard ordering
+// (the sharded kernel additionally orders adjacent cut routers within a
+// cycle; see internal/sim).
+//
+// The planner works on render coordinates, which every builder assigns:
+// it slices the graph into vertical stripes of contiguous render-X
+// values, balanced by node count. Mesh node ids are row-major, so
+// X-stripes interleave ids across shards — within one cycle each shard
+// ticks a slice of every row, and the cut routers form a wavefront that
+// pipelines instead of serializing (a Y-cut would put all of shard 0's
+// ids before shard 1's and force the shards to run back to back). When
+// the shard count is even, a quadrant split (half as many stripes, each
+// cut in two by render-Y) is also scored and wins if it balances nodes
+// strictly better.
+//
+// Partition is deterministic and never fails: degenerate requests
+// (shards < 2, graphs narrower than the shard count) clamp down, so
+// Plan.Shards is the effective count and may be less than requested —
+// including 1, meaning "run sequentially".
+
+// CutLink is one directed link crossing a shard boundary.
+type CutLink struct {
+	From, To NodeID
+	Delay    int
+}
+
+// Plan is a shard assignment over one topology.
+type Plan struct {
+	// Shards is the effective shard count (may be less than requested).
+	Shards int
+	// ShardOf maps node id -> home shard in [0, Shards).
+	ShardOf []int
+	// CutLinks lists every directed link whose endpoints live on
+	// different shards, in (From, port) order.
+	CutLinks []CutLink
+	// MinCutDelay is the minimum Delay over CutLinks — the safe
+	// conservative-window bound in cycles. 0 when there are no cut
+	// links (fully decoupled shards).
+	MinCutDelay int
+}
+
+// Partition assigns every node of t to one of up to `shards` shards.
+func Partition(t *Topology, shards int) *Plan {
+	n := t.NumNodes()
+	if shards > n {
+		shards = n
+	}
+	if shards < 2 {
+		return &Plan{Shards: 1, ShardOf: make([]int, n)}
+	}
+	assign := stripeAssign(t, shards)
+	if shards%2 == 0 {
+		if quad := quadrantAssign(t, shards); quad != nil &&
+			maxShardSize(quad, shards) < maxShardSize(assign, shards) {
+			assign = quad
+		}
+	}
+	return finishPlan(t, assign, shards)
+}
+
+// stripeAssign slices nodes into vertical stripes of contiguous
+// render-X, balancing by node count: a node goes to the shard indicated
+// by the fraction of nodes in strictly-lower X columns.
+func stripeAssign(t *Topology, shards int) []int {
+	n := t.NumNodes()
+	maxX := 0
+	for id := 0; id < n; id++ {
+		if x, _ := t.RenderCoord(NodeID(id)); x > maxX {
+			maxX = x
+		}
+	}
+	colCount := make([]int, maxX+1)
+	for id := 0; id < n; id++ {
+		x, _ := t.RenderCoord(NodeID(id))
+		colCount[x]++
+	}
+	// shard of each X = floor(prefix * shards / total), monotone in X.
+	colShard := make([]int, maxX+1)
+	prefix := 0
+	for x := 0; x <= maxX; x++ {
+		s := prefix * shards / n
+		if s >= shards {
+			s = shards - 1
+		}
+		colShard[x] = s
+		prefix += colCount[x]
+	}
+	assign := make([]int, n)
+	for id := 0; id < n; id++ {
+		x, _ := t.RenderCoord(NodeID(id))
+		assign[id] = colShard[x]
+	}
+	return assign
+}
+
+// quadrantAssign splits into shards/2 stripes, each cut into a top and
+// bottom half by render-Y at the balanced median. Returns nil when the
+// graph has a single render row (no Y split possible).
+func quadrantAssign(t *Topology, shards int) []int {
+	n := t.NumNodes()
+	maxY := 0
+	for id := 0; id < n; id++ {
+		if _, y := t.RenderCoord(NodeID(id)); y > maxY {
+			maxY = y
+		}
+	}
+	if maxY == 0 {
+		return nil
+	}
+	rowCount := make([]int, maxY+1)
+	for id := 0; id < n; id++ {
+		_, y := t.RenderCoord(NodeID(id))
+		rowCount[y]++
+	}
+	// Y halves: rows [0, splitY) on top, the rest below, split at the
+	// first prefix reaching half the nodes.
+	splitY, prefix := maxY, 0
+	for y := 0; y <= maxY; y++ {
+		prefix += rowCount[y]
+		if prefix*2 >= n {
+			splitY = y + 1
+			break
+		}
+	}
+	stripes := stripeAssign(t, shards/2)
+	assign := make([]int, n)
+	for id := 0; id < n; id++ {
+		_, y := t.RenderCoord(NodeID(id))
+		half := 0
+		if y >= splitY {
+			half = 1
+		}
+		assign[id] = stripes[id]*2 + half
+	}
+	return assign
+}
+
+func maxShardSize(assign []int, shards int) int {
+	size := make([]int, shards)
+	for _, s := range assign {
+		size[s]++
+	}
+	max := 0
+	for _, c := range size {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// finishPlan compacts empty shards out of the assignment and computes
+// the cut set.
+func finishPlan(t *Topology, assign []int, shards int) *Plan {
+	used := make([]int, shards)
+	for _, s := range assign {
+		used[s] = 1
+	}
+	renum := make([]int, shards)
+	eff := 0
+	for s := 0; s < shards; s++ {
+		if used[s] == 1 {
+			renum[s] = eff
+			eff++
+		}
+	}
+	p := &Plan{Shards: eff, ShardOf: make([]int, len(assign))}
+	for id, s := range assign {
+		p.ShardOf[id] = renum[s]
+	}
+	if eff < 2 {
+		p.Shards = 1
+		for i := range p.ShardOf {
+			p.ShardOf[i] = 0
+		}
+		return p
+	}
+	for id := 0; id < t.NumNodes(); id++ {
+		for port := 0; port < t.NumPorts(NodeID(id)); port++ {
+			l, ok := t.Link(NodeID(id), port)
+			if !ok {
+				continue
+			}
+			if p.ShardOf[id] != p.ShardOf[l.To] {
+				p.CutLinks = append(p.CutLinks, CutLink{From: NodeID(id), To: l.To, Delay: l.Delay})
+				if p.MinCutDelay == 0 || l.Delay < p.MinCutDelay {
+					p.MinCutDelay = l.Delay
+				}
+			}
+		}
+	}
+	return p
+}

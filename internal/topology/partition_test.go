@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func meshForPartition(w, h int) *Topology {
+	return NewMesh(MeshSpec{W: w, H: h, CoreX: w/2 - 1, MemX: w / 2})
+}
+
+func shardSizes(p *Plan) []int {
+	sizes := make([]int, p.Shards)
+	for _, s := range p.ShardOf {
+		sizes[s]++
+	}
+	return sizes
+}
+
+func TestPartitionMeshStripes(t *testing.T) {
+	topo := meshForPartition(16, 16)
+	p := Partition(topo, 4)
+	if p.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", p.Shards)
+	}
+	for s, size := range shardSizes(p) {
+		if size != 64 {
+			t.Errorf("shard %d holds %d nodes, want 64", s, size)
+		}
+	}
+	// Stripes: the shard is a monotone function of render X alone.
+	shardOfX := map[int]int{}
+	for id, s := range p.ShardOf {
+		x, _ := topo.RenderCoord(NodeID(id))
+		if prev, ok := shardOfX[x]; ok && prev != s {
+			t.Fatalf("render column %d split across shards %d and %d", x, prev, s)
+		}
+		shardOfX[x] = s
+	}
+	for x := 1; x < 16; x++ {
+		if shardOfX[x] < shardOfX[x-1] {
+			t.Errorf("shard of column %d (%d) below column %d (%d): stripes not monotone",
+				x, shardOfX[x], x-1, shardOfX[x-1])
+		}
+	}
+	if p.MinCutDelay < 1 {
+		t.Errorf("MinCutDelay = %d, want >= 1 (mesh links are >= 1 cycle)", p.MinCutDelay)
+	}
+	if len(p.CutLinks) == 0 {
+		t.Fatal("no cut links on a 4-way mesh split")
+	}
+	for _, cl := range p.CutLinks {
+		if p.ShardOf[cl.From] == p.ShardOf[cl.To] {
+			t.Errorf("cut link %d->%d does not cross shards", cl.From, cl.To)
+		}
+		if cl.Delay < p.MinCutDelay {
+			t.Errorf("cut link %d->%d delay %d below MinCutDelay %d", cl.From, cl.To, cl.Delay, p.MinCutDelay)
+		}
+	}
+	// Completeness: every directed link with endpoints on different
+	// shards is in the cut set.
+	want := 0
+	for id := 0; id < topo.NumNodes(); id++ {
+		for port := 0; port < topo.NumPorts(NodeID(id)); port++ {
+			if l, ok := topo.Link(NodeID(id), port); ok && p.ShardOf[id] != p.ShardOf[l.To] {
+				want++
+			}
+		}
+	}
+	if len(p.CutLinks) != want {
+		t.Errorf("cut set has %d links, topology has %d crossing links", len(p.CutLinks), want)
+	}
+}
+
+func TestPartitionQuadrantsOnNarrowMesh(t *testing.T) {
+	// Two render columns cannot make four stripes; the quadrant split
+	// (2 stripes x 2 render-Y halves) balances perfectly and must win.
+	topo := NewMesh(MeshSpec{W: 2, H: 8, CoreX: 0, MemX: 1})
+	p := Partition(topo, 4)
+	if p.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4 via the quadrant split", p.Shards)
+	}
+	for s, size := range shardSizes(p) {
+		if size != 4 {
+			t.Errorf("shard %d holds %d nodes, want 4", s, size)
+		}
+	}
+}
+
+func TestPartitionClampsDegenerateRequests(t *testing.T) {
+	topo := meshForPartition(4, 4)
+	if p := Partition(topo, 1); p.Shards != 1 || len(p.CutLinks) != 0 {
+		t.Errorf("shards=1: got %d shards, %d cut links", p.Shards, len(p.CutLinks))
+	}
+	if p := Partition(topo, 0); p.Shards != 1 {
+		t.Errorf("shards=0: got %d shards", p.Shards)
+	}
+	p := Partition(topo, 1000)
+	if p.Shards > topo.NumNodes() {
+		t.Errorf("shards=1000: got %d shards for %d nodes", p.Shards, topo.NumNodes())
+	}
+	for _, s := range p.ShardOf {
+		if s < 0 || s >= p.Shards {
+			t.Fatalf("shard %d outside [0,%d)", s, p.Shards)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	topo := meshForPartition(16, 16)
+	a, b := Partition(topo, 4), Partition(topo, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two Partition calls over the same inputs differ")
+	}
+}
