@@ -11,7 +11,7 @@ GO ?= go
 BENCH_COUNT ?= 3
 BENCH_LABEL ?= after
 
-.PHONY: build test check fmt vet race racegraph racecache racerouter racefleet raceshard serverace conformance bench benchsmoke smoke shard-smoke pareto-smoke opt-smoke serve-smoke verify clean
+.PHONY: build test check fmt vet race racegraph racecache racerouter racefleet raceshard racecmp serverace conformance bench benchsmoke smoke shard-smoke cmp-smoke pareto-smoke opt-smoke serve-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,16 @@ raceshard:
 	$(GO) test -race -run 'Shard|Partition' ./internal/sim/ ./internal/topology/ ./internal/network/
 	$(GO) test -race -short -run TestShardedRunMatchesSequential ./internal/core/
 
+# Full (non-short) race pass over the CMP layer: the fabric's ports and
+# hub demux are the only cross-core state of a full-system run, the
+# multi-requester conformance matrix drives them with the protocol
+# invariants enforced, and the trace-driven core model supplies every
+# stream — all under the detector, together with the CMP run tests
+# (analytic golden, hierarchical sharding, directory attribution).
+racecmp:
+	$(GO) test -race ./internal/cmp/ ./internal/cpu/
+	$(GO) test -race -run 'TestCMP' ./internal/core/
+
 # Full (non-short) race pass over the serving layer (and the canonical
 # hashing it keys on): the scheduler, the result cache, and the
 # coalescing map are the only cross-goroutine state the daemon has, and
@@ -117,6 +127,11 @@ bench:
 		| tee /tmp/nucanet-bench-shard-$(BENCH_LABEL).txt
 	$(GO) run ./cmd/benchjson -o BENCH_shard.json -label $(BENCH_LABEL) \
 		< /tmp/nucanet-bench-shard-$(BENCH_LABEL).txt
+	$(GO) test -run=NONE -benchmem -count=$(BENCH_COUNT) \
+		-bench='BenchmarkCMP' . \
+		| tee /tmp/nucanet-bench-cmp-$(BENCH_LABEL).txt
+	$(GO) run ./cmd/benchjson -o BENCH_cmp.json -label $(BENCH_LABEL) \
+		< /tmp/nucanet-bench-cmp-$(BENCH_LABEL).txt
 
 # Tiny end-to-end run with every telemetry probe on: trace, heatmap,
 # time series, at j=2 — exercises the full probe plumbing through the
@@ -139,6 +154,28 @@ shard-smoke:
 		{ echo "shard smoke: -shards 4 diverged from -shards 1"; exit 1; }
 	@rm -f /tmp/nucasim-shard /tmp/nucasim-shard-1.txt /tmp/nucasim-shard-4.txt
 	@echo "shard smoke: ok"
+
+# Full-system CMP smoke through the real CLI: a 4-core directory-policy
+# run on the two-chiplet hierarchy (design H2), timing stripped, diffed
+# against the committed golden — so the whole chain (flags, hierarchical
+# topology build, bridge-ring routing, fabric injection, directory
+# attribution, per-core reporting) is pinned end to end. The same run at
+# -shards 2 must reproduce the golden too (CMP bit-identity under
+# sharding), and a tiny paperbench -exp cmp exercises the
+# sharing-contention sweep.
+cmp-smoke:
+	$(GO) build -o /tmp/nucasim-cmp ./cmd/nucasim
+	@/tmp/nucasim-cmp -design H2 -policy directory -cores 4 -n 500 \
+		| sed 's/ \[[0-9.]*s\]//' > /tmp/nucasim-cmp-1.txt
+	@diff cmd/nucasim/testdata/cmp_smoke.golden /tmp/nucasim-cmp-1.txt || \
+		{ echo "cmp smoke: output drifted from the committed golden"; exit 1; }
+	@/tmp/nucasim-cmp -design H2 -policy directory -cores 4 -n 500 -shards 2 \
+		| sed 's/ \[[0-9.]*s\]//' > /tmp/nucasim-cmp-2.txt
+	@diff cmd/nucasim/testdata/cmp_smoke.golden /tmp/nucasim-cmp-2.txt || \
+		{ echo "cmp smoke: -shards 2 diverged from the sequential golden"; exit 1; }
+	$(GO) run ./cmd/paperbench -exp cmp -n 300 >/dev/null
+	@rm -f /tmp/nucasim-cmp /tmp/nucasim-cmp-1.txt /tmp/nucasim-cmp-2.txt
+	@echo "cmp smoke: ok"
 
 # Tiny router-engine Pareto sweep (every registered engine over designs
 # A/D/F/R under both schemes) so the area/latency/energy frontier
@@ -194,7 +231,7 @@ verify:
 	$(GO) run ./cmd/nucasim -verify-routing
 	$(GO) run ./cmd/nucasim -router bufferless -verify-routing
 
-check: fmt vet race racegraph racecache racerouter racefleet raceshard serverace conformance benchsmoke smoke shard-smoke pareto-smoke opt-smoke serve-smoke verify
+check: fmt vet race racegraph racecache racerouter racefleet raceshard racecmp serverace conformance benchsmoke smoke shard-smoke cmp-smoke pareto-smoke opt-smoke serve-smoke verify
 
 clean:
 	$(GO) clean ./...

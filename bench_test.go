@@ -15,7 +15,6 @@ import (
 
 	"nucanet/internal/area"
 	"nucanet/internal/cache"
-	"nucanet/internal/cmp"
 	"nucanet/internal/config"
 	"nucanet/internal/core"
 	"nucanet/internal/cpu"
@@ -179,25 +178,28 @@ func BenchmarkCacheHitOp(b *testing.B) {
 }
 
 // BenchmarkCMP scales the shared cache from 1 to 8 cores (the paper's
-// future-work experiment), reporting aggregate throughput.
+// future-work experiment), reporting aggregate throughput — on the flat
+// Design A mesh and on the hierarchical two-chiplet H2 fabric.
 func BenchmarkCMP(b *testing.B) {
-	for _, cores := range []int{1, 2, 4, 8} {
-		cores := cores
-		b.Run(fmtCores(cores), func(b *testing.B) {
-			var res cmp.Result
-			for i := 0; i < b.N; i++ {
-				var err error
-				res, err = cmp.Run(cmp.Options{
-					DesignID: "A", Policy: cache.FastLRU, Mode: cache.Multicast,
-					Cores: cores, Benchmark: "gcc", Accesses: 1000, Seed: 7,
-				})
-				if err != nil {
-					b.Fatal(err)
+	for _, design := range []string{"A", "H2"} {
+		for _, cores := range []int{1, 2, 4, 8} {
+			design, cores := design, cores
+			b.Run(design+"/"+fmtCores(cores), func(b *testing.B) {
+				var res core.Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = core.Run(core.Options{
+						DesignID: design, Policy: cache.FastLRU, Mode: cache.Multicast,
+						Cores: cores, Benchmark: "gcc", Accesses: 1000, Seed: 7,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-			b.ReportMetric(res.ThroughputIPC, "throughput-IPC")
-			b.ReportMetric(100*res.CacheHitRate, "hit%")
-		})
+				b.ReportMetric(res.IPC, "throughput-IPC")
+				b.ReportMetric(100*res.HitRate, "hit%")
+			})
+		}
 	}
 }
 

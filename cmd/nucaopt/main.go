@@ -16,6 +16,7 @@
 //	nucaopt -budget 200 -confirm 8000
 //	nucaopt -seed 7 -benches gcc,mcf,art,apsi
 //	nucaopt -budget 6 -wave 4 -screen 60 -confirm 150 -q   # smoke: prints only the result
+//	nucaopt -cores 4                 # score candidates as 4-core CMP runs (grid families)
 //
 // The final line carries the canonical best candidate and its hash;
 // identical flags always reproduce it bit-for-bit (make opt-smoke pins
@@ -45,6 +46,8 @@ func main() {
 		quiet  = flag.Bool("q", false, "suppress per-wave progress")
 		jobs   = cliutil.Jobs(flag.CommandLine)
 		shards = cliutil.Shards(flag.CommandLine)
+		cores  = flag.Int("cores", 0,
+			"score candidates as N-core CMP runs (geomean over per-core IPCs; grid families only, 0 = classic single-core)")
 	)
 	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
@@ -63,6 +66,7 @@ func main() {
 		Shards:          *shards,
 		Policy:          policy.String(),
 		Mode:            mode.String(),
+		Cores:           *cores,
 	}
 	if !*quiet {
 		cfg.Log = func(format string, args ...any) {
@@ -78,7 +82,7 @@ func main() {
 	}
 	fmt.Printf("search: %d screened, %d rejected unsafe, %d rejected by area, %d simulations (wall %.1fs)\n",
 		res.Screened, res.RejectedUnsafe, res.RejectedArea, res.Sims, res.Report.Wall.Seconds())
-	fmt.Printf("best: %s ipc %.4f (baseline halo %.4f, %+.2f%%) area %.2f mm2 (baseline %.2f) hash %016x\n",
+	fmt.Printf("best: %s ipc %.4f (baseline %.4f, %+.2f%%) area %.2f mm2 (baseline %.2f) hash %016x\n",
 		res.Best, res.BestScore, res.BaselineScore, 100*(res.BestScore/res.BaselineScore-1),
 		res.BestArea.L2MM2(), res.BaselineArea.L2MM2(), res.Best.Hash())
 }

@@ -27,10 +27,13 @@
 //	nucasim -design F -bench all -j 8
 //	nucasim -design A -router bufferless -bench gcc
 //	nucasim -design A -heatmap -sample 100 -trace /tmp/flits.jsonl
+//	nucasim -design H2 -policy directory -cores 4   # full-system CMP on the chiplet hierarchy
 //	nucasim -verify-routing
 //	nucasim -router bufferless -verify-routing
-//	nucasim -list-policies
-//	nucasim -list-routers
+//	nucasim -list                # every registry catalogue
+//	nucasim -list=designs        # one catalogue (designs, topologies, routers, policies, experiments)
+//	nucasim -list-policies       # alias for -list=policies
+//	nucasim -list-routers        # alias for -list=routers
 package main
 
 import (
@@ -58,14 +61,16 @@ func main() {
 		blocking = flag.Float64("blocking", 0.35, "fraction of reads that stall the core")
 		jobs     = cliutil.Jobs(flag.CommandLine)
 		shards   = cliutil.Shards(flag.CommandLine)
+		cores    = cliutil.Cores(flag.CommandLine)
 		tflags   = cliutil.Telemetry(flag.CommandLine)
 		verify   = flag.Bool("verify-routing", false,
 			"statically verify deadlock freedom of every catalogue design's routing, then exit")
 		listPol = flag.Bool("list-policies", false,
-			"list the registered replacement policies and request modes, then exit")
+			"alias for -list=policies")
 		listRouters = flag.Bool("list-routers", false,
-			"list the registered router microarchitectures, then exit")
+			"alias for -list=routers")
 	)
+	listFlag := cliutil.List(flag.CommandLine, "all")
 	routerName := cliutil.Router(flag.CommandLine)
 	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
@@ -76,6 +81,10 @@ func main() {
 	}
 	if *listRouters {
 		cliutil.ListRouters(os.Stdout)
+		return
+	}
+	if done, err := listFlag.Handle(os.Stdout); done {
+		fatal(err)
 		return
 	}
 	if *verify {
@@ -100,6 +109,7 @@ func main() {
 			CPU:       cpu.Config{Window: *window, BlockingProb: *blocking},
 			Telemetry: tcfg,
 			Shards:    *shards,
+			Cores:     *cores,
 		}
 	}
 	results, rep, err := core.NewEngine(workers).RunAll(opts)
@@ -123,6 +133,14 @@ func main() {
 		fmt.Printf("  memory         %d reads, %d writebacks\n",
 			r.Memory.Reads, r.Memory.WriteBacks)
 		fmt.Printf("  bank accesses  %d\n", r.BankAccesses)
+		for _, cr := range r.Cores {
+			fmt.Printf("  core %-2d        ipc %.4f  avg lat %.1f  hit %.1f%%  remote %.1f%%  (%d cycles)\n",
+				cr.Core, cr.IPC, cr.AvgLatency, 100*cr.HitRate, 100*cr.RemoteShare, cr.Cycles)
+		}
+		if d := r.Directory; d != nil {
+			fmt.Printf("  directory      %d owners, %d self-evictions, %d cross-evictions\n",
+				len(d.Owners), d.SelfDrops, d.CrossDrops)
+		}
 		if tel := r.Telemetry; tel != nil {
 			if tel.Heat != nil {
 				tel.Heat.Render(os.Stdout)

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	paperbench -list             # catalogue of registered experiments
+//	paperbench -list=all         # every registry catalogue (designs, routers, ...)
 //	paperbench -exp all          # everything (several minutes)
 //	paperbench -exp f9 -n 4000   # one experiment, smaller runs
 //	paperbench -exp f9 -j 8      # fan the sweep out to 8 workers
@@ -51,24 +52,21 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment name (see -list), or all")
-		list     = flag.Bool("list", false, "list registered experiments and exit")
 		n        = flag.Int("n", 8000, "measured L2 accesses per run")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		bench    = flag.String("bench", "", "benchmark for the single-benchmark experiments (default gcc)")
 		useFleet = flag.Bool("fleet", false, "evaluate sweeps on the bulk-synchronous fleet instead of per-run goroutines")
 		jobs     = cliutil.Jobs(flag.CommandLine)
 		shards   = cliutil.Shards(flag.CommandLine)
+		cores    = cliutil.Cores(flag.CommandLine)
 		tflags   = cliutil.Telemetry(flag.CommandLine)
 	)
+	listFlag := cliutil.List(flag.CommandLine, "experiments")
 	routerName := cliutil.Router(flag.CommandLine)
 	policy, mode := cliutil.Scheme(flag.CommandLine)
 	flag.Parse()
-	if *list {
-		for _, name := range core.ExperimentNames() {
-			e, err := core.ExperimentByName(name)
-			fatal(err)
-			fmt.Printf("  %-10s %s\n", e.Name, e.About)
-		}
+	if done, err := listFlag.Handle(os.Stdout); done {
+		fatal(err)
 		return
 	}
 	workers, err := cliutil.ResolveJobs(*jobs)
@@ -82,6 +80,7 @@ func main() {
 		PolicyName: policy.String(), ModeName: mode.String(),
 		RouterName: *routerName, Bench: *bench,
 		Telemetry: tflags.Config(), Fleet: *useFleet, Shards: *shards,
+		Cores: *cores,
 	}
 	traceOut := *tflags.TracePath
 

@@ -2,7 +2,7 @@
 // networked L2 from one core to a chip multiprocessor and watch the
 // trade-off: aggregate throughput rises with cores while per-core hit
 // rates fall (capacity sharing) and latencies rise (remote column homes
-// and interconnect contention).
+// and interconnect contention, both measured on the simulated fabric).
 package main
 
 import (
@@ -11,12 +11,11 @@ import (
 	"log"
 
 	"nucanet/internal/cache"
-	"nucanet/internal/cmp"
-	"nucanet/internal/cpu"
+	"nucanet/internal/core"
 )
 
 func main() {
-	design := flag.String("design", "A", "mesh design A-D")
+	design := flag.String("design", "A", "grid design (A-D, G, H2)")
 	bench := flag.String("bench", "gcc", "per-core benchmark")
 	n := flag.Int("n", 2000, "accesses per core")
 	flag.Parse()
@@ -26,10 +25,9 @@ func main() {
 		"cores", "throughput", "IPC/core", "hit rate", "avg lat", "remote")
 
 	for _, cores := range []int{1, 2, 4, 8} {
-		res, err := cmp.Run(cmp.Options{
+		res, err := core.Run(core.Options{
 			DesignID: *design, Policy: cache.FastLRU, Mode: cache.Multicast,
 			Cores: cores, Benchmark: *bench, Accesses: *n, Seed: 7,
-			CPU: cpu.DefaultConfig(),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -42,14 +40,14 @@ func main() {
 		}
 		k := float64(len(res.Cores))
 		fmt.Printf("%5d %12.3f %12.3f %9.1f%% %10.1f %9.0f%%\n",
-			cores, res.ThroughputIPC, res.ThroughputIPC/k, 100*hr/k, lat/k, 100*remote/k)
+			cores, res.IPC, res.IPC/k, 100*hr/k, lat/k, 100*remote/k)
 	}
 
 	fmt.Println("\nwhat to look for:")
 	fmt.Println(" - throughput grows with cores, but sub-linearly: the cores")
 	fmt.Println("   share 16 MB of capacity and the same column bandwidth")
 	fmt.Println(" - per-core hit rate falls as working sets evict each other")
-	fmt.Println(" - most accesses are homed on a remote controller, adding two")
-	fmt.Println("   row traversals — the traffic pattern the paper's future")
-	fmt.Println("   work planned to study")
+	fmt.Println(" - most accesses are homed on a remote controller, crossing")
+	fmt.Println("   the top row (and, on H2, the bridge ring) both ways — the")
+	fmt.Println("   traffic pattern the paper's future work planned to study")
 }

@@ -238,6 +238,28 @@ func RunConformance() (scenarios int, violations []string) {
 	return len(scs), violations
 }
 
+// InvariantProbe exposes the runtime protocol-invariant checker to
+// external harnesses (the cmp package's multi-requester conformance):
+// install it as the telemetry collector's Protocol probe, Seed it after
+// warming, and Finish it after the final drain. It enforces the same
+// invariants the in-package harness does — exactly-once operation
+// completion, block conservation, event/state reconciliation.
+type InvariantProbe struct {
+	*invariantChecker
+}
+
+// NewInvariantProbe returns a fresh checker.
+func NewInvariantProbe() *InvariantProbe {
+	return &InvariantProbe{newInvariantChecker()}
+}
+
+// Seed snapshots the warm contents as the conservation baseline; call
+// after System.Warm and before the first access.
+func (p *InvariantProbe) Seed(sys *System) { p.seed(sys) }
+
+// Finish closes the run and returns every violation found.
+func (p *InvariantProbe) Finish(sys *System) []string { return p.finish(sys) }
+
 // bankSetKey addresses one set of one bank for conservation tracking.
 type bankSetKey struct{ col, pos, set int }
 

@@ -72,6 +72,7 @@ func (e *lruEngine) startFastChain(a *agent, o *op, fin int64) {
 	blk := a.evictLRU(o.set)
 	if a.last == 0 {
 		// Single-bank column: the victim leaves the cache.
+		a.dropVictim(o, blk)
 		if blk.Dirty {
 			a.writeBack(o, fin)
 		}
@@ -96,8 +97,11 @@ func (e *lruEngine) forwardUnit(a *agent, o *op, fin int64) {
 		return
 	}
 	// LRU bank: replacement is complete; the victim leaves the cache.
-	if m.hasBlock && m.blk.Dirty {
-		a.writeBack(o, fin)
+	if m.hasBlock {
+		a.dropVictim(o, m.blk)
+		if m.blk.Dirty {
+			a.writeBack(o, fin)
+		}
 	}
 	a.sendDone(o, fin)
 	a.requestMemory(o, fin)
@@ -144,8 +148,11 @@ func (e *lruEngine) Unit(a *agent, m *unitMsg, now int64) {
 		a.sendBank(fin, flit.ReplaceBlock, a.pos+1, o.req.Addr, m)
 		return
 	}
-	if m.hasBlock && m.blk.Dirty {
-		a.writeBack(o, fin)
+	if m.hasBlock {
+		a.dropVictim(o, m.blk)
+		if m.blk.Dirty {
+			a.writeBack(o, fin)
+		}
 	}
 	a.sendDone(o, fin)
 	a.requestMemory(o, fin)
@@ -176,6 +183,7 @@ func (e *lruEngine) Store(a *agent, m *storeMsg, now int64) {
 	victim := a.evictLRU(o.set)
 	a.insert(o.set, m.blk)
 	if a.last == 0 {
+		a.dropVictim(o, victim)
 		if victim.Dirty {
 			a.writeBack(o, fin)
 		}
@@ -248,6 +256,7 @@ func chainStep(a *agent, m *chainMsg, now int64) {
 	victim := a.evictLRU(o.set)
 	a.insert(o.set, m.blk)
 	if a.pos == a.last {
+		a.dropVictim(o, victim)
 		if victim.Dirty {
 			a.writeBack(o, fin)
 		}
@@ -270,6 +279,7 @@ func fillEvictChain(a *agent, o *op, blk bank.Block, fin int64) {
 	victim := a.evictLRU(o.set)
 	a.insert(o.set, blk)
 	if a.last == 0 {
+		a.dropVictim(o, victim)
 		if victim.Dirty {
 			a.writeBack(o, fin)
 		}

@@ -1,6 +1,6 @@
 // Golden regression proof for the protocol-engine refactor: every
-// catalogue design (Table 3's A-F plus the extra registered families R
-// and G) under every (policy, mode) scheme must produce byte-identical
+// catalogue design (Table 3's A-F plus the extra registered families R,
+// G, and H2) under every (policy, mode) scheme must produce byte-identical
 // IPC, cycle counts, and latency statistics across refactors of the
 // protocol layer. The goldens in testdata/regression_goldens.json were
 // captured from the pre-engine (hard-coded switch) protocol code;
@@ -33,7 +33,7 @@ import (
 var updateGoldens = flag.Bool("update-goldens", false,
 	"rewrite testdata/regression_goldens.json from the current simulator")
 
-// goldenAccesses keeps the 48-run sweep quick while still exercising
+// goldenAccesses keeps the 54-run sweep quick while still exercising
 // warm-up, replacement chains, misses, and writebacks on every design.
 const goldenAccesses = 1200
 
@@ -86,8 +86,8 @@ func rowOf(design string, p cache.Policy, m cache.Mode, r core.Result) goldenRow
 	}
 }
 
-// catalogueOpts enumerates the full regression matrix: 8 designs x
-// {Promotion, LRU, FastLRU} x {Unicast, Multicast} = 48 runs.
+// catalogueOpts enumerates the full regression matrix: 9 designs x
+// {Promotion, LRU, FastLRU} x {Unicast, Multicast} = 54 runs.
 func catalogueOpts() []core.Options {
 	var opts []core.Options
 	for _, d := range append(config.Designs(), config.ExtraDesigns()...) {
@@ -105,7 +105,7 @@ func catalogueOpts() []core.Options {
 
 func TestCatalogueGoldens(t *testing.T) {
 	if testing.Short() {
-		t.Skip("48-run catalogue sweep; skipped in -short mode")
+		t.Skip("54-run catalogue sweep; skipped in -short mode")
 	}
 	opts := catalogueOpts()
 	results, _, err := core.NewEngine(runtime.NumCPU()).RunAll(opts)
@@ -157,7 +157,7 @@ func TestCatalogueGoldens(t *testing.T) {
 	}
 }
 
-// TestCatalogueGoldensSharded reruns the full 48-row catalogue sweep at
+// TestCatalogueGoldensSharded reruns the full 54-row catalogue sweep at
 // 2 and 4 kernel shards against the same pre-refactor golden file: the
 // sharded execution path must leave every golden byte unmoved. Designs
 // the partitioner cannot split further (small fabrics clamp to fewer
@@ -165,7 +165,7 @@ func TestCatalogueGoldens(t *testing.T) {
 // point — Shards is an execution knob the goldens must not see.
 func TestCatalogueGoldensSharded(t *testing.T) {
 	if testing.Short() {
-		t.Skip("96-run catalogue sweep; skipped in -short mode")
+		t.Skip("108-run catalogue sweep; skipped in -short mode")
 	}
 	path := filepath.Join("testdata", "regression_goldens.json")
 	buf, err := os.ReadFile(path)

@@ -32,6 +32,10 @@ type System struct {
 	AM     trace.AddrMap
 	Lat    *stats.Latency
 
+	// Dir is the ownership directory, non-nil only under the Directory
+	// policy (see engine_directory.go).
+	Dir *DirStats
+
 	agents [][]*agent // [column][position]
 	tel    *telemetry.Collector
 	eng    PolicyEngine // the registered engine driving Policy
@@ -96,6 +100,9 @@ func NewPrebuilt(k *sim.Kernel, d config.Design, policy Policy, mode Mode, pre P
 		AM:   d.AddrMap(),
 		Lat:  stats.NewLatency(len(d.Banks)),
 		eng:  policy.engine(),
+	}
+	if _, ok := s.eng.(*directoryEngine); ok {
+		s.Dir = newDirStats(topo.Columns())
 	}
 	alg := pre.Alg
 	if alg == nil {
@@ -254,6 +261,9 @@ func (s *System) Warm(warm [][]uint64) {
 				}
 			}
 		}
+	}
+	if s.Dir != nil {
+		s.Dir.seed(s)
 	}
 }
 

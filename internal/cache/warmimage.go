@@ -56,4 +56,7 @@ func (s *System) WarmClone(img *WarmImage) {
 			a.bk.CloneState(img.banks[c][p])
 		}
 	}
+	if s.Dir != nil {
+		s.Dir.seed(s)
+	}
 }

@@ -65,6 +65,14 @@ func ListRouters(w io.Writer) {
 	}
 }
 
+// Cores registers the standard -cores flag (core.Options.Cores) and
+// returns its destination: N > 0 runs the full-system CMP fabric with N
+// trace-driven cores sharing the cache; 0 keeps the classic single-core
+// path.
+func Cores(fs *flag.FlagSet) *int {
+	return fs.Int("cores", 0, "run as an N-core CMP (trace-driven cores sharing the fabric; 0 = classic single-core)")
+}
+
 // Shards registers the standard -shards flag and returns its
 // destination. Sharding is an execution knob, not a model parameter:
 // results are bit-identical at any shard count, so the flag never

@@ -3,34 +3,74 @@
 // study ... to include CMP environments by first analyzing the traffic
 // patterns and finding suitable interconnects").
 //
-// N cores attach along the top row of a mesh design, each co-located with
-// a cache controller. Every bank-set column is *homed* on exactly one
-// controller (the nearest one), preserving the single-writer column
+// N cores attach along the top row of a grid design, each co-located
+// with a cache controller. Every bank-set column is *homed* on exactly
+// one controller (the nearest one), preserving the single-writer column
 // serialization the replacement protocols require. A core accessing a
-// remotely-homed column sends its request across the top row to the home
-// controller, which runs the usual protocol and forwards the data back —
-// two extra row traversals that model the CMP's sharing cost.
+// remotely-homed column sends its request across the top row — and, on
+// hierarchical designs, over the inter-chiplet bridge ring — to the home
+// controller, which runs the usual protocol and forwards the data back.
+// The sharing cost is therefore *measured* on the simulated fabric,
+// contention included, not approximated by an extra-hop latency model.
 //
-// Cores run disjoint working sets (a multiprogrammed workload, the common
-// shared-NUCA evaluation): each core's tags live in a private tag range,
-// and the warm state interleaves the cores' hot blocks so they compete
-// for the shared capacity from the first access.
+// Cores run disjoint working sets (a multiprogrammed workload, the
+// common shared-NUCA evaluation): each core's tags live in a private tag
+// range (OwnerStride apart), and the warm state interleaves the cores'
+// hot blocks so they compete for the shared capacity from the first
+// access.
+//
+// The package is a fabric layer, not a runner: Attach grafts ports and
+// controllers onto a prebuilt cache.System, and internal/core threads it
+// through Prepare/NewInstance so CMP runs inherit warm-image caching,
+// sharded kernels, telemetry, and the experiment registry unchanged.
 package cmp
 
 import (
 	"fmt"
 
 	"nucanet/internal/cache"
-	"nucanet/internal/config"
 	"nucanet/internal/flit"
-	"nucanet/internal/sim"
 	"nucanet/internal/stats"
 	"nucanet/internal/topology"
+	"nucanet/internal/trace"
 )
 
-// coreTagStride separates the cores' tag spaces (far above any tag a
-// generator produces in a bounded run).
-const coreTagStride = uint64(1) << 32
+// OwnerStride separates the cores' tag spaces (far above any tag a
+// generator produces in a bounded run): core i's blocks carry tags in
+// [i*OwnerStride, (i+1)*OwnerStride). It aliases the cache package's
+// stride so the directory policy recovers each block's owning core from
+// its tag (cache.OwnerOf).
+const OwnerStride = cache.OwnerStride
+
+// OffsetAddr relocates an address into a core's private tag range. It is
+// a pure function of the address map, so trace preparation can apply it
+// without a built fabric.
+func OffsetAddr(am trace.AddrMap, addr uint64, core int) uint64 {
+	return am.Compose(am.TagOf(addr)+uint64(core)*OwnerStride,
+		am.SetOf(addr), am.ColumnOf(addr))
+}
+
+// MergeWarm interleaves per-core warm sets into one shared warm table:
+// each set's ways round-robin over the cores' MRU blocks, so the cores
+// compete for capacity from the first access. warms[i] is core i's
+// WarmBlocks table (ways entries per set); the result feeds
+// (*cache.System).Warm or cache.BuildWarmImage directly.
+func MergeWarm(am trace.AddrMap, ways int, warms [][][]uint64) [][]uint64 {
+	merged := make([][]uint64, am.Columns*am.Sets)
+	for idx := range merged {
+		var tags []uint64
+		for w := 0; w < ways; w++ {
+			c := w % len(warms)
+			d := w / len(warms)
+			if c >= len(warms) || d >= len(warms[c][idx]) {
+				continue
+			}
+			tags = append(tags, warms[c][idx][d]+uint64(c)*OwnerStride)
+		}
+		merged[idx] = tags
+	}
+	return merged
+}
 
 // coreReq carries a remote core's request to the home controller.
 type coreReq struct {
@@ -49,11 +89,11 @@ func (*coreReq) ProtocolMessage() {}
 
 func (*coreData) ProtocolMessage() {}
 
-// System is a shared networked L2 with N cores.
-type System struct {
-	K     *sim.Kernel
-	Cache *cache.System
-	N     int
+// Fabric is the CMP attachment over a shared cache system: N ports, N
+// co-located controllers, and the column home map.
+type Fabric struct {
+	Sys *cache.System
+	N   int
 
 	ports []*Port
 	ctrls []*cache.Controller
@@ -63,7 +103,7 @@ type System struct {
 
 // Port is one core's interface to the shared cache; it satisfies cpu.L2.
 type Port struct {
-	sys  *System
+	fab  *Fabric
 	id   int
 	node topology.NodeID
 	ctrl *cache.Controller
@@ -96,30 +136,18 @@ func (h *hub) Deliver(pkt *flit.Packet, now int64) {
 	}
 }
 
-// New builds an n-core system over a grid design (A-D, G). Cores spread
-// evenly along the top row; the topology's own core attachment point is
-// ignored in favor of the computed positions. It errors — rather than
-// panicking — on designs CMP cannot host (radial topologies have a
-// single hub, gridless topologies no top row) and on out-of-range core
-// counts, so batch runners can skip and report unsupported combinations.
-func New(k *sim.Kernel, d config.Design, policy cache.Policy, mode cache.Mode, n int) (*System, error) {
-	cs, err := cache.New(k, d, policy, mode)
-	if err != nil {
+// Attach grafts n cores onto a prebuilt system. Cores spread evenly
+// along the top row; the topology's own core attachment point is ignored
+// in favor of the computed positions. It errors — rather than panicking
+// — on designs CMP cannot host (radial topologies have a single hub,
+// gridless topologies no top row) and on out-of-range core counts, so
+// batch runners can skip and report unsupported combinations.
+func Attach(cs *cache.System, n int) (*Fabric, error) {
+	if err := SupportsHost(cs.Topo, cs.Design.ID, n); err != nil {
 		return nil, err
 	}
-	if cs.Topo.Radial {
-		return nil, fmt.Errorf("cmp: design %s is radial (%s): a single hub hosts every core; CMP needs a grid design (A-D, G)",
-			d.ID, cs.Topo.Name)
-	}
-	if !cs.Topo.HasGrid() {
-		return nil, fmt.Errorf("cmp: design %s (%s) has no full router grid to place cores on",
-			d.ID, cs.Topo.Name)
-	}
+	f := &Fabric{Sys: cs, N: n}
 	w := cs.Topo.W
-	if n < 1 || n > w {
-		return nil, fmt.Errorf("cmp: core count %d out of range [1,%d]", n, w)
-	}
-	s := &System{K: k, Cache: cs, N: n}
 
 	for i := 0; i < n; i++ {
 		x := (2*i + 1) * w / (2 * n) // evenly spread along the top row
@@ -128,26 +156,44 @@ func New(k *sim.Kernel, d config.Design, policy cache.Policy, mode cache.Mode, n
 		if node != ctrl.Node || i > 0 {
 			ctrl = cache.NewControllerAt(cs, node)
 		}
-		port := &Port{sys: s, id: i, node: node, ctrl: ctrl,
-			Lat: stats.NewLatency(len(d.Banks))}
-		s.ports = append(s.ports, port)
-		s.ctrls = append(s.ctrls, ctrl)
-		s.nodes = append(s.nodes, node)
+		port := &Port{fab: f, id: i, node: node, ctrl: ctrl,
+			Lat: stats.NewLatency(len(cs.Design.Banks))}
+		f.ports = append(f.ports, port)
+		f.ctrls = append(f.ctrls, ctrl)
+		f.nodes = append(f.nodes, node)
 		cs.Net.Attach(node, flit.ToCore, &hub{ctrl: ctrl, port: port})
 	}
 	// Home every column on the nearest controller.
-	s.home = make([]int, w)
+	f.home = make([]int, w)
 	for col := 0; col < w; col++ {
 		best, bestDist := 0, 1<<30
-		for i, node := range s.nodes {
+		for i, node := range f.nodes {
 			d := abs(cs.Topo.Nodes[node].X - col)
 			if d < bestDist {
 				best, bestDist = i, d
 			}
 		}
-		s.home[col] = best
+		f.home[col] = best
 	}
-	return s, nil
+	return f, nil
+}
+
+// SupportsHost reports whether topology t can host an n-core fabric —
+// the same gates Attach applies, exposed so preparation layers can fail
+// fast before building a system. designID labels the errors.
+func SupportsHost(t *topology.Topology, designID string, n int) error {
+	if t.Radial {
+		return fmt.Errorf("cmp: design %s is radial (%s): a single hub hosts every core; CMP needs a grid design",
+			designID, t.Name)
+	}
+	if !t.HasGrid() {
+		return fmt.Errorf("cmp: design %s (%s) has no full router grid to place cores on",
+			designID, t.Name)
+	}
+	if n < 1 || n > t.W {
+		return fmt.Errorf("cmp: core count %d out of range [1,%d]", n, t.W)
+	}
+	return nil
 }
 
 func abs(x int) int {
@@ -158,56 +204,45 @@ func abs(x int) int {
 }
 
 // Port returns core i's cache interface.
-func (s *System) Port(i int) *Port { return s.ports[i] }
+func (f *Fabric) Port(i int) *Port { return f.ports[i] }
 
 // Home returns the controller index owning a column.
-func (s *System) Home(col int) int { return s.home[col] }
+func (f *Fabric) Home(col int) int { return f.home[col] }
 
 // ControllerNode returns the router of controller i.
-func (s *System) ControllerNode(i int) topology.NodeID { return s.nodes[i] }
+func (f *Fabric) ControllerNode(i int) topology.NodeID { return f.nodes[i] }
 
 // OffsetAddr relocates an address into core i's private tag range.
-func (s *System) OffsetAddr(addr uint64, core int) uint64 {
-	am := s.Cache.AM
-	return am.Compose(am.TagOf(addr)+uint64(core)*coreTagStride,
-		am.SetOf(addr), am.ColumnOf(addr))
+func (f *Fabric) OffsetAddr(addr uint64, core int) uint64 {
+	return OffsetAddr(f.Sys.AM, addr, core)
 }
 
-// Warm interleaves the cores' warm sets into the shared cache: each set's
-// ways split evenly among the cores' most recent blocks, so the cores
-// compete for capacity from the first access. warms[i] is core i's
-// WarmBlocks table (ways entries per set).
-func (s *System) Warm(warms [][][]uint64) {
-	am := s.Cache.AM
-	ways := s.Cache.Design.Ways()
-	per := ways / len(warms)
-	if per == 0 {
-		per = 1
+// Warm interleaves the cores' warm sets into the shared cache (see
+// MergeWarm).
+func (f *Fabric) Warm(warms [][][]uint64) {
+	f.Sys.Warm(MergeWarm(f.Sys.AM, f.Sys.Design.Ways(), warms))
+}
+
+// Pending returns outstanding work across every port and controller —
+// the fabric-wide complement of (*cache.Controller).Pending that a
+// multi-controller drain must check.
+func (f *Fabric) Pending() int {
+	n := 0
+	for _, p := range f.ports {
+		n += len(p.pend)
 	}
-	merged := make([][]uint64, am.Columns*am.Sets)
-	for idx := range merged {
-		var tags []uint64
-		// Round-robin the cores' MRU blocks into the set.
-		for w := 0; w < ways; w++ {
-			c := w % len(warms)
-			d := w / len(warms)
-			if c >= len(warms) || d >= len(warms[c][idx]) {
-				continue
-			}
-			tag := warms[c][idx][d] + uint64(c)*coreTagStride
-			tags = append(tags, tag)
-		}
-		merged[idx] = tags
+	for _, c := range f.ctrls {
+		n += c.Pending()
 	}
-	s.Cache.Warm(merged)
+	return n
 }
 
 // Issue submits core-side access i: local columns go straight to the
 // co-located controller; remote columns cross the top row to their home.
 func (p *Port) Issue(addr uint64, write bool, done func(*cache.Request, int64)) *cache.Request {
-	now := p.sys.K.Now()
-	col := p.sys.Cache.AM.ColumnOf(addr)
-	h := p.sys.home[col]
+	now := p.fab.Sys.K.Now()
+	col := p.fab.Sys.AM.ColumnOf(addr)
+	h := p.fab.home[col]
 	r := &cache.Request{Addr: addr, Write: write}
 	issued := now
 	r.Done = func(req *cache.Request, t int64) {
@@ -221,8 +256,8 @@ func (p *Port) Issue(addr uint64, write bool, done func(*cache.Request, int64)) 
 		if req.Write {
 			kind = flit.WriteDone
 		}
-		p.sys.Cache.Net.Send(&flit.Packet{
-			Kind: kind, Src: p.sys.nodes[h], Dst: p.node, DstEp: flit.ToCore,
+		p.fab.Sys.Net.Send(&flit.Packet{
+			Kind: kind, Src: p.fab.nodes[h], Dst: p.node, DstEp: flit.ToCore,
 			Addr: req.Addr, Payload: &coreData{req: req, port: p},
 		}, t)
 	}
@@ -238,8 +273,8 @@ func (p *Port) Issue(addr uint64, write bool, done func(*cache.Request, int64)) 
 	if write {
 		kind = flit.WriteData
 	}
-	p.sys.Cache.Net.Send(&flit.Packet{
-		Kind: kind, Src: p.node, Dst: p.sys.nodes[h], DstEp: flit.ToCore,
+	p.fab.Sys.Net.Send(&flit.Packet{
+		Kind: kind, Src: p.node, Dst: p.fab.nodes[h], DstEp: flit.ToCore,
 		Addr: addr, Payload: &coreReq{req: r, home: h},
 	}, now)
 	return r

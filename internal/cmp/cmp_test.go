@@ -6,134 +6,75 @@ import (
 
 	"nucanet/internal/cache"
 	"nucanet/internal/config"
-	"nucanet/internal/cpu"
 	"nucanet/internal/sim"
 	"nucanet/internal/trace"
 )
 
-func opts(cores, n int) Options {
-	return Options{
-		DesignID: "A", Policy: cache.FastLRU, Mode: cache.Multicast,
-		Cores: cores, Benchmark: "gcc", Accesses: n, Seed: 9,
-		CPU: cpu.DefaultConfig(),
-	}
-}
-
-func TestSingleCoreMatchesStructure(t *testing.T) {
-	res, err := Run(opts(1, 800))
+// fabricOn builds an n-core fabric over a fresh system of the named
+// design.
+func fabricOn(t *testing.T, designID string, n int) *Fabric {
+	t.Helper()
+	d, err := config.DesignByID(designID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Cores) != 1 {
-		t.Fatalf("cores = %d", len(res.Cores))
+	cs, err := cache.New(sim.NewKernel(), d, cache.FastLRU, cache.Multicast)
+	if err != nil {
+		t.Fatal(err)
 	}
-	c := res.Cores[0]
-	if c.IPC <= 0 || c.AvgLatency <= 0 {
-		t.Fatalf("bad core result: %+v", c)
+	f, err := Attach(cs, n)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// One core homes every column: nothing is remote.
-	if c.RemoteShare != 0 {
-		t.Fatalf("single core remote share = %v, want 0", c.RemoteShare)
-	}
+	return f
 }
 
 func TestHomeAssignmentNearest(t *testing.T) {
-	d, _ := config.DesignByID("A")
-	k := sim.NewKernel()
-	s, err := New(k, d, cache.FastLRU, cache.Multicast, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
+	f := fabricOn(t, "A", 4)
 	// Cores sit at x = 2, 6, 10, 14; columns split into four runs.
 	for col := 0; col < 16; col++ {
-		want := 0
-		switch {
-		case col >= 4 && col <= 8:
-			want = 1
-		case col > 8 && col <= 12:
-			want = 2
-		case col > 12:
-			want = 3
-		}
-		// Boundaries can tie; just require monotonicity and range.
-		got := s.Home(col)
+		got := f.Home(col)
 		if got < 0 || got > 3 {
 			t.Fatalf("home(%d) = %d", col, got)
 		}
-		_ = want
 	}
-	if s.Home(0) != 0 || s.Home(15) != 3 {
-		t.Fatalf("edge homes wrong: %d %d", s.Home(0), s.Home(15))
+	if f.Home(0) != 0 || f.Home(15) != 3 {
+		t.Fatalf("edge homes wrong: %d %d", f.Home(0), f.Home(15))
 	}
 	for col := 1; col < 16; col++ {
-		if s.Home(col) < s.Home(col-1) {
+		if f.Home(col) < f.Home(col-1) {
 			t.Fatal("home assignment must be monotone along the row")
 		}
 	}
 }
 
-func TestRemoteIssuesCrossTheRow(t *testing.T) {
-	res, err := Run(opts(4, 600))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, c := range res.Cores {
-		// With 16 columns over 4 cores, ~3/4 of uniformly spread
-		// accesses are remote.
-		if c.RemoteShare < 0.4 || c.RemoteShare > 0.95 {
-			t.Errorf("core %d remote share = %.2f, want ~0.75", c.Core, c.RemoteShare)
+// TestHomeAssignmentHier: on the hierarchical design the home map works
+// off global columns exactly as on a flat mesh — bridges host no banks
+// and never own columns.
+func TestHomeAssignmentHier(t *testing.T) {
+	f := fabricOn(t, "H2", 4)
+	for col := 1; col < 16; col++ {
+		if f.Home(col) < f.Home(col-1) {
+			t.Fatal("home assignment must be monotone along the row")
 		}
 	}
-}
-
-func TestInterferenceRaisesMissRate(t *testing.T) {
-	one, err := Run(opts(1, 900))
-	if err != nil {
-		t.Fatal(err)
-	}
-	four, err := Run(opts(4, 900))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Four disjoint working sets share 16 ways: per-core hit rates drop.
-	if four.CacheHitRate >= one.CacheHitRate {
-		t.Errorf("4-core hit rate %.3f not below 1-core %.3f",
-			four.CacheHitRate, one.CacheHitRate)
-	}
-	// But aggregate throughput still rises with cores.
-	if four.ThroughputIPC <= one.ThroughputIPC {
-		t.Errorf("4-core throughput %.3f not above 1-core %.3f",
-			four.ThroughputIPC, one.ThroughputIPC)
-	}
-}
-
-func TestDeterministicCMP(t *testing.T) {
-	a, err := Run(opts(2, 500))
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Run(opts(2, 500))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range a.Cores {
-		if a.Cores[i] != b.Cores[i] {
-			t.Fatalf("nondeterministic core %d: %+v vs %+v", i, a.Cores[i], b.Cores[i])
+	for i := 0; i < 4; i++ {
+		node := f.ControllerNode(i)
+		if f.Sys.Topo.Nodes[node].Y != 0 {
+			t.Fatalf("controller %d not on the mesh's top row (node %d)", i, node)
 		}
 	}
 }
 
 func TestOffsetAddrDisjoint(t *testing.T) {
-	d, _ := config.DesignByID("A")
-	k := sim.NewKernel()
-	s, err := New(k, d, cache.FastLRU, cache.Multicast, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	am := s.Cache.AM
+	f := fabricOn(t, "A", 2)
+	am := f.Sys.AM
 	addr := am.Compose(42, 13, 5)
-	a0 := s.OffsetAddr(addr, 0)
-	a1 := s.OffsetAddr(addr, 1)
+	a0 := f.OffsetAddr(addr, 0)
+	a1 := f.OffsetAddr(addr, 1)
+	if a0 != addr {
+		t.Fatal("core 0's tag range must be the identity (single-core compatibility)")
+	}
 	if a0 == a1 {
 		t.Fatal("cores must get disjoint tag ranges")
 	}
@@ -145,61 +86,51 @@ func TestOffsetAddrDisjoint(t *testing.T) {
 	}
 }
 
-func TestCMPOnSimplifiedMesh(t *testing.T) {
-	o := opts(2, 500)
-	o.DesignID = "B"
-	res, err := Run(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.ThroughputIPC <= 0 {
-		t.Fatal("no throughput")
-	}
-}
-
 func TestHaloRejected(t *testing.T) {
 	// Radial designs have a single hub: CMP must refuse them with a
 	// descriptive error (not a panic) so batch sweeps can skip-and-report.
 	d, _ := config.DesignByID("E")
-	_, err := New(sim.NewKernel(), d, cache.FastLRU, cache.Multicast, 2)
-	if err == nil {
-		t.Fatal("halo CMP must be rejected")
+	cs, err := cache.New(sim.NewKernel(), d, cache.FastLRU, cache.Multicast)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(err.Error(), "radial") {
+	if _, err := Attach(cs, 2); err == nil {
+		t.Fatal("halo CMP must be rejected")
+	} else if !strings.Contains(err.Error(), "radial") {
 		t.Fatalf("error should explain the radial rejection, got: %v", err)
 	}
 }
 
-func TestRunErrors(t *testing.T) {
-	bad := opts(0, 100)
-	if _, err := Run(bad); err == nil {
-		t.Fatal("zero cores must error")
+func TestBadCoreCounts(t *testing.T) {
+	d, _ := config.DesignByID("A")
+	cs, err := cache.New(sim.NewKernel(), d, cache.FastLRU, cache.Multicast)
+	if err != nil {
+		t.Fatal(err)
 	}
-	bad2 := opts(2, 100)
-	bad2.Benchmark = "doom"
-	if _, err := Run(bad2); err == nil {
-		t.Fatal("bad benchmark must error")
+	for _, n := range []int{0, -1, 17} {
+		if _, err := Attach(cs, n); err == nil {
+			t.Errorf("core count %d must be rejected", n)
+		}
 	}
 }
 
 func TestWarmSplitsWays(t *testing.T) {
-	d, _ := config.DesignByID("A")
-	k := sim.NewKernel()
-	s, err := New(k, d, cache.FastLRU, cache.Multicast, 4)
+	f := fabricOn(t, "A", 4)
+	prof, err := trace.ProfileByName("gcc")
 	if err != nil {
 		t.Fatal(err)
 	}
-	gens := make([][][]uint64, 4)
-	for i := range gens {
-		g := trace.NewSynthetic(mustProf(t), s.Cache.AM, uint64(i+1))
-		gens[i] = g.WarmBlocks(16)
+	warms := make([][][]uint64, 4)
+	for i := range warms {
+		g := trace.NewSynthetic(prof, f.Sys.AM, uint64(i+1))
+		warms[i] = g.WarmBlocks(16)
 	}
-	s.Warm(gens)
+	f.Warm(warms)
 	// Every set holds 16 blocks, 4 from each core's tag range.
 	counts := map[uint64]int{}
-	for _, bankTags := range s.Cache.Contents(3, 7) {
+	for _, bankTags := range f.Sys.Contents(3, 7) {
 		for _, tag := range bankTags {
-			counts[tag/coreTagStride]++
+			counts[tag/OwnerStride]++
 		}
 	}
 	total := 0
@@ -212,13 +143,4 @@ func TestWarmSplitsWays(t *testing.T) {
 	if total != 16 {
 		t.Fatalf("set holds %d blocks, want 16", total)
 	}
-}
-
-func mustProf(t *testing.T) trace.Profile {
-	t.Helper()
-	p, err := trace.ProfileByName("gcc")
-	if err != nil {
-		t.Fatal(err)
-	}
-	return p
 }

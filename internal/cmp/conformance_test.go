@@ -1,0 +1,77 @@
+package cmp
+
+import (
+	"strings"
+	"testing"
+
+	"nucanet/internal/cache"
+)
+
+// TestMultiCoreConformance runs the full multi-requester matrix: every
+// (core, local/remote home) pair at every hit depth and on misses,
+// overlapping sets with two and four cores, cross-core writebacks, and
+// a pipelined concurrent script — all in golden lock-step under the
+// directory policy with the runtime protocol invariants enforced.
+func TestMultiCoreConformance(t *testing.T) {
+	scs := MultiCoreScenarios()
+	if len(scs) < 80 {
+		t.Fatalf("multi-core matrix has %d scenarios, want >= 80", len(scs))
+	}
+	n, violations := RunMultiCoreConformance()
+	if n != len(scs) {
+		t.Fatalf("ran %d scenarios, enumerated %d", n, len(scs))
+	}
+	if len(violations) > 0 {
+		max := len(violations)
+		if max > 20 {
+			max = 20
+		}
+		t.Fatalf("%d violations across %d scenarios; first %d:\n%s",
+			len(violations), n, max, strings.Join(violations[:max], "\n"))
+	}
+	t.Logf("%d scenarios, 0 violations", n)
+}
+
+// TestDirectoryAttributesCrossEvictions pins the directory's reason to
+// exist: in the overlapping-set scenario, the ownership matrix must
+// record blocks of one core pushed out by the other.
+func TestDirectoryAttributesCrossEvictions(t *testing.T) {
+	for _, sc := range MultiCoreScenarios() {
+		if !strings.HasSuffix(sc.Name, "/overlap2") {
+			continue
+		}
+		rep, violations := RunMultiCoreScenario(sc)
+		if len(violations) != 0 {
+			t.Fatalf("%s: %v", sc.Name, violations)
+		}
+		if rep.CrossDrops == 0 {
+			t.Errorf("%s: no cross-core evictions attributed (%+v)", sc.Name, rep)
+		}
+		if len(rep.Owners) < 2 {
+			t.Errorf("%s: directory saw %d owners, want 2", sc.Name, rep.Owners)
+		}
+		for _, o := range rep.Owners {
+			if rep.Hits[o] == 0 {
+				t.Errorf("%s: owner %d recorded no hits", sc.Name, o)
+			}
+		}
+	}
+}
+
+// TestMultiCoreConformanceCatchesTampering proves the harness is alive:
+// warming only the simulated system (not the golden model) must produce
+// hit-decision and contents violations.
+func TestMultiCoreConformanceCatchesTampering(t *testing.T) {
+	sc := MCScenario{
+		Name: "tamper", Mode: cache.Multicast, Cores: 2,
+		Warm:     []MCWarm{{Core: 0, Col: 0, Tags: []uint64{11, 12}}},
+		Accesses: []MCAccess{{Core: 0, Col: 0, Tag: 11}},
+	}
+	if _, v := RunMultiCoreScenario(sc); len(v) != 0 {
+		t.Fatalf("control scenario should pass, got %v", v)
+	}
+	sc.tamperGolden = true
+	if _, v := RunMultiCoreScenario(sc); len(v) == 0 {
+		t.Fatal("tampered golden state produced no violations; the harness is dead")
+	}
+}

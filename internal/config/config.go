@@ -171,6 +171,19 @@ func ExtraDesigns() []Design {
 				HorizDelay: 1, VertDelay: []int{1}, Concentration: 4},
 			Banks: uniform64(16), Router: rc,
 		},
+		{
+			// CoreX 3 puts the ring dateline on an interior chiplet-1 mesh
+			// link, so all four bridges carry through traffic.
+			ID: "H2", Description: "2-chiplet hierarchical: two 8x4 meshes + 4-bridge ring, 256KB banks",
+			Topology: "hier",
+			Params: topology.Params{W: 16, H: 4, CoreX: 3, MemX: 3,
+				HorizDelay: 2, VertDelay: []int{2}, Chiplets: 2},
+			Banks: []bank.Spec{
+				{SizeKB: 256, Ways: 4}, {SizeKB: 256, Ways: 4},
+				{SizeKB: 256, Ways: 4}, {SizeKB: 256, Ways: 4},
+			},
+			Router: rc,
+		},
 	}
 }
 

@@ -42,6 +42,15 @@ type Options struct {
 	// Telemetry selects cycle-level probes (flit trace, heatmaps, time
 	// series). The zero value disables them all at zero cost.
 	Telemetry telemetry.Config
+	// Cores switches the run to full-system CMP mode: N trace-driven
+	// cores spread along the fabric's top row (see internal/cmp), each
+	// replaying its own Accesses-long stream on a private tag range with
+	// a seed derived by cpu.CoreSeed. 0 — the default — is the classic
+	// single-core path, attached at the design's CoreX, bit-identical to
+	// every pre-CMP golden. Cores >= 1 measures sharing contention on
+	// the simulated fabric; Cores == 1 is the degenerate CMP (one core
+	// at the row's midpoint) the analytic cmp layer used to model.
+	Cores int
 	// Shards splits this one run's fabric across up to N goroutines
 	// advancing in conservative windows (see sim.NewShardedKernel and
 	// topology.Partition). Results are bit-identical to the sequential
@@ -101,6 +110,31 @@ type Result struct {
 	// Telemetry holds the run's probe data when Options.Telemetry enabled
 	// any probe; nil otherwise.
 	Telemetry *telemetry.Collector
+
+	// Cores holds the per-core outcomes of a CMP run (Options.Cores >=
+	// 1); nil on the classic single-core path. The scalar fields above
+	// aggregate: IPC and Instructions sum over the cores, Cycles is the
+	// slowest core's finish, and the latency statistics keep the shared
+	// cache's protocol-side view.
+	Cores []CoreResult
+
+	// Directory is the merged ownership report of a run under the
+	// directory policy (per-owner occupancy and the cross-core eviction
+	// matrix); nil under every other policy.
+	Directory *cache.DirReport
+}
+
+// CoreResult is one CMP core's outcome. Latency and hit rate are the
+// core-observed view (including trips to and from remote home
+// controllers), unlike Result's shared protocol-side accumulator.
+type CoreResult struct {
+	Core         int
+	IPC          float64
+	AvgLatency   float64
+	HitRate      float64
+	RemoteShare  float64 // fraction of issues homed on another controller
+	Instructions int64
+	Cycles       int64
 }
 
 // Run executes one simulation to completion. Each run owns its kernel,

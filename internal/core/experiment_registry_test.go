@@ -12,11 +12,11 @@ import (
 
 var updateGoldens = flag.Bool("update", false, "rewrite experiment golden files")
 
-// TestExperimentCatalogue pins the registry contents: the twelve
-// built-ins in the paper's presentation order, with only the
-// special-purpose telemetry experiment excluded from "all".
+// TestExperimentCatalogue pins the registry contents: the built-ins in
+// the paper's presentation order, with the special-purpose telemetry
+// and CMP experiments excluded from "all".
 func TestExperimentCatalogue(t *testing.T) {
-	want := []string{"t1", "t2", "t3", "t4", "f7", "f8", "f9", "headline", "energy", "power", "pareto", "telemetry"}
+	want := []string{"t1", "t2", "t3", "t4", "f7", "f8", "f9", "headline", "energy", "power", "pareto", "telemetry", "cmp"}
 	names := ExperimentNames()
 	if len(names) < len(want) {
 		t.Fatalf("ExperimentNames() = %v, want at least %v", names, want)
@@ -31,7 +31,7 @@ func TestExperimentCatalogue(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ExperimentByName(%q): %v", name, err)
 		}
-		wantInAll := name != "telemetry"
+		wantInAll := name != "telemetry" && name != "cmp"
 		if e.InAll != wantInAll {
 			t.Errorf("experiment %q InAll = %v, want %v", name, e.InAll, wantInAll)
 		}

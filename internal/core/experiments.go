@@ -73,6 +73,12 @@ type ExpConfig struct {
 	// -shards flag). Purely an execution knob: any value produces
 	// byte-identical experiment output, pinned by the determinism matrix.
 	Shards int
+	// Cores runs every simulation with N trace-driven cores on the CMP
+	// fabric (the -cores flag); 0 keeps the classic single-core path.
+	// Experiments over designs that cannot host cores (the radial halos)
+	// reject the combination. The cmp experiment ignores it: sweeping
+	// core counts is the experiment.
+	Cores int
 }
 
 // bench resolves the single-benchmark experiments' benchmark.
@@ -121,7 +127,7 @@ func (cfg ExpConfig) run(designID string, p cache.Policy, m cache.Mode, bench st
 	return Options{
 		DesignID: designID, Policy: p, Mode: m, Router: cfg.RouterName,
 		Benchmark: bench, Accesses: cfg.Accesses, Seed: cfg.Seed,
-		Shards: cfg.Shards,
+		Shards: cfg.Shards, Cores: cfg.Cores,
 	}
 }
 
@@ -572,6 +578,94 @@ func uniformSpecs(n int) []bank.Spec {
 		out[i] = bank.Spec{SizeKB: 64, Ways: 1}
 	}
 	return out
+}
+
+// CMPCell is one core-count operating point of the sharing-contention
+// sweep: aggregate and per-core throughput, the tail latency, and the
+// directory's interference attribution.
+type CMPCell struct {
+	Cores      int
+	IPC        float64 // aggregate throughput
+	PerCoreIPC float64
+	HitRate    float64 // shared protocol-side hit rate
+	AvgLat     float64
+	P99        int64
+	// RemoteShare is the mean fraction of issues homed on another
+	// controller — the traffic the fabric (and on hierarchical designs,
+	// the bridge ring) carries.
+	RemoteShare float64
+	// CrossDropShare is the fraction of capacity evictions where one
+	// core's block was pushed out by another core's access, from the
+	// directory policy's ownership matrix.
+	CrossDropShare float64
+}
+
+// CMPResult bundles the sweep's cells with the largest run's telemetry
+// (the link heatmap showing the bridge traffic).
+type CMPResult struct {
+	DesignID string
+	Bench    string
+	Cells    []CMPCell
+	// Heat is the largest core count's spatial telemetry; on the
+	// hierarchical designs its link view includes the bridge-ring hops.
+	Heat *telemetry.Heatmap
+}
+
+// CMPSharing runs the sharing-contention sweep (extension: the paper's
+// primary stated future work): 1, 2, 4, and 8 trace-driven cores on the
+// two-chiplet hierarchical design under the directory policy, measuring
+// how aggregate throughput, tail latency, and cross-core interference
+// scale as the fabric is shared.
+func CMPSharing(cfg ExpConfig, designID, bench string) (CMPResult, SweepReport, error) {
+	// The policy is part of the experiment's definition: the x-evict
+	// column exists only under the directory policy's ownership
+	// bookkeeping, so the -policy override is ignored here (the mode
+	// override still applies).
+	m := cache.Multicast
+	if cfg.ModeName != "" {
+		var err error
+		if m, err = cache.ParseMode(cfg.ModeName); err != nil {
+			return CMPResult{}, SweepReport{}, err
+		}
+	}
+	p := cache.Directory
+	counts := []int{1, 2, 4, 8}
+	opts := make([]Options, len(counts))
+	for i, n := range counts {
+		opts[i] = Options{
+			DesignID: designID, Policy: p, Mode: m, Router: cfg.RouterName,
+			Benchmark: bench, Accesses: cfg.Accesses, Seed: cfg.Seed,
+			Shards: cfg.Shards, Cores: n,
+			Telemetry: telemetry.Config{Heatmap: true},
+		}
+	}
+	rs, rep, err := cfg.sweep(opts)
+	if err != nil {
+		return CMPResult{}, rep, err
+	}
+	out := CMPResult{DesignID: designID, Bench: bench}
+	for i, r := range rs {
+		cell := CMPCell{
+			Cores:   counts[i],
+			IPC:     r.IPC,
+			HitRate: r.HitRate,
+			AvgLat:  r.AvgLatency,
+			P99:     r.Latency.Percentile(0.99),
+		}
+		k := float64(len(r.Cores))
+		cell.PerCoreIPC = r.IPC / k
+		for _, c := range r.Cores {
+			cell.RemoteShare += c.RemoteShare / k
+		}
+		if d := r.Directory; d != nil && d.SelfDrops+d.CrossDrops > 0 {
+			cell.CrossDropShare = float64(d.CrossDrops) / float64(d.SelfDrops+d.CrossDrops)
+		}
+		out.Cells = append(out.Cells, cell)
+		if tel := r.Telemetry; tel != nil && tel.Heat != nil {
+			out.Heat = tel.Heat // keep the last (largest) run's view
+		}
+	}
+	return out, rep, nil
 }
 
 // TelemetryRun is one design's telemetry capture from TelemetryCompare.

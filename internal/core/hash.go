@@ -20,7 +20,7 @@ import (
 // distinct configurations in the result cache.
 var hashedOptionFields = []string{
 	"DesignID", "Design", "Policy", "Mode", "Benchmark", "Router",
-	"Accesses", "Seed", "CPU", "Telemetry",
+	"Accesses", "Seed", "CPU", "Telemetry", "Cores",
 }
 
 // unhashedOptionFields lists the Options fields the canonical hash
@@ -47,6 +47,7 @@ type canonicalRun struct {
 	Seed      uint64
 	CPU       cpu.Config
 	Telemetry telemetry.Config
+	Cores     int
 }
 
 // CanonicalKey returns the content address of a run: a hex SHA-256 over
@@ -94,6 +95,7 @@ func CanonicalKey(o Options) (string, error) {
 		Seed:      o.Seed,
 		CPU:       cpuCfg,
 		Telemetry: o.Telemetry,
+		Cores:     o.Cores,
 	}
 	// encoding/json over plain structs is deterministic: fields emit in
 	// declaration order and there are no maps anywhere in canonicalRun.

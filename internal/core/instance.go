@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nucanet/internal/cache"
+	"nucanet/internal/cmp"
 	"nucanet/internal/config"
 	"nucanet/internal/cpu"
 	"nucanet/internal/energy"
@@ -39,8 +40,14 @@ type Artifacts struct {
 	Topo   *topology.Topology
 	Table  *routing.Table
 	Warm   [][]uint64     // WarmBlocks table for the design's 16 ways
-	Accs   []trace.Access // the measured access stream
+	Accs   []trace.Access // the measured access stream (single-core runs)
 	CPU    cpu.Config     // normalized core model config
+
+	// CoreAccs holds the per-core access streams of a CMP run (Options.
+	// Cores >= 1): core i's stream, already offset into its private tag
+	// range. Accs is nil in that mode, and Warm is the cores' interleaved
+	// warm table (cmp.MergeWarm).
+	CoreAccs [][]trace.Access
 
 	// WarmImg, when non-nil, is the precomputed post-warm-up bank state
 	// for (bank stack, Warm); NewInstance clones it instead of replaying
@@ -89,11 +96,13 @@ type traceKey struct {
 	sets     int
 	ways     int
 	accesses int
+	cores    int // 0 = classic single-core stream
 }
 
 type traceEntry struct {
-	warm [][]uint64
-	accs []trace.Access
+	warm     [][]uint64
+	accs     []trace.Access
+	coreAccs [][]trace.Access
 }
 
 // imageKey identifies a warm image: the trace entry pins the address
@@ -135,17 +144,35 @@ func (pc *PrepCache) design(d config.Design) *designEntry {
 }
 
 // traceFor resolves the warm table and access stream, sharing across
-// designs with the same address geometry and total ways.
-func (pc *PrepCache) traceFor(d config.Design, prof trace.Profile, seed uint64, accesses int) *traceEntry {
+// designs with the same address geometry and total ways. cores >= 1
+// produces the CMP form: per-core streams offset into private tag
+// ranges (seeded by cpu.CoreSeed so core 0 replays the classic stream)
+// and one interleaved warm table.
+func (pc *PrepCache) traceFor(d config.Design, prof trace.Profile, seed uint64, accesses, cores int) *traceEntry {
 	am := d.AddrMap()
-	key := traceKey{prof.Name, seed, am.Columns, am.Sets, d.Ways(), accesses}
+	key := traceKey{prof.Name, seed, am.Columns, am.Sets, d.Ways(), accesses, cores}
 	if pc != nil {
 		if e, ok := pc.traces[key]; ok {
 			return e
 		}
 	}
-	gen := trace.NewSynthetic(prof, am, seed)
-	e := &traceEntry{warm: gen.WarmBlocks(d.Ways()), accs: trace.Take(gen, accesses)}
+	var e *traceEntry
+	if cores < 1 {
+		gen := trace.NewSynthetic(prof, am, seed)
+		e = &traceEntry{warm: gen.WarmBlocks(d.Ways()), accs: trace.Take(gen, accesses)}
+	} else {
+		warms := make([][][]uint64, cores)
+		coreAccs := make([][]trace.Access, cores)
+		for i := 0; i < cores; i++ {
+			gen := trace.NewSynthetic(prof, am, cpu.CoreSeed(seed, i))
+			warms[i] = gen.WarmBlocks(d.Ways())
+			coreAccs[i] = trace.Take(gen, accesses)
+			for j := range coreAccs[i] {
+				coreAccs[i][j].Addr = cmp.OffsetAddr(am, coreAccs[i][j].Addr, i)
+			}
+		}
+		e = &traceEntry{warm: cmp.MergeWarm(am, d.Ways(), warms), coreAccs: coreAccs}
+	}
 	if pc != nil {
 		pc.traces[key] = e
 	}
@@ -188,6 +215,14 @@ func Prepare(opt Options, pc *PrepCache) (*Artifacts, error) {
 	if opt.Shards < 0 {
 		return nil, fmt.Errorf("core: shards must be non-negative, got %d", opt.Shards)
 	}
+	if opt.Cores < 0 {
+		return nil, fmt.Errorf("core: cores must be non-negative, got %d", opt.Cores)
+	}
+	if opt.Cores > 0 && de.topo != nil {
+		if err := cmp.SupportsHost(de.topo, d.ID, opt.Cores); err != nil {
+			return nil, err
+		}
+	}
 	if opt.Shards > 1 && opt.Telemetry.Trace {
 		return nil, fmt.Errorf("core: the flit trace probe requires the sequential kernel (shards=%d with trace)", opt.Shards)
 	}
@@ -197,7 +232,7 @@ func Prepare(opt Options, pc *PrepCache) (*Artifacts, error) {
 	if de.chkErr != nil {
 		return nil, de.chkErr
 	}
-	te := pc.traceFor(d, prof, opt.Seed, opt.Accesses)
+	te := pc.traceFor(d, prof, opt.Seed, opt.Accesses, opt.Cores)
 	cpuCfg := opt.CPU
 	if cpuCfg.Window == 0 {
 		cpuCfg = cpu.DefaultConfig()
@@ -206,7 +241,7 @@ func Prepare(opt Options, pc *PrepCache) (*Artifacts, error) {
 	art := &Artifacts{
 		Opt: opt, Design: d, Prof: prof,
 		Topo: de.topo, Table: de.tb,
-		Warm: te.warm, Accs: te.accs,
+		Warm: te.warm, Accs: te.accs, CoreAccs: te.coreAccs,
 		CPU: cpuCfg,
 	}
 	if pc != nil {
@@ -228,15 +263,20 @@ func (pc *PrepCache) imageFor(d config.Design, te *traceEntry) *cache.WarmImage 
 }
 
 // Instance is one assembled simulation: a kernel, the cache system, and
-// the trace-driven core, built over shared Artifacts. Drive it either
-// with RunToCompletion (the single-run path) or with Start plus external
+// the trace-driven core (or, in CMP mode, the fabric and one core per
+// port), built over shared Artifacts. Drive it either with
+// RunToCompletion (the single-run path) or with Start plus external
 // kernel stepping (the fleet's lockstep path) followed by FinishIdle.
 type Instance struct {
 	Art *Artifacts
 	K   *sim.Kernel
 	Sys *cache.System
-	C   *cpu.Core
-	tel *telemetry.Collector
+	C   *cpu.Core // the classic single core; nil in CMP mode
+	// Fab and cores are the CMP form (Options.Cores >= 1): the fabric
+	// attachment over Sys and one trace-driven core per port.
+	Fab   *cmp.Fabric
+	cores []*cpu.Core
+	tel   *telemetry.Collector
 }
 
 // NewInstance assembles the mutable simulation state over art. ar, when
@@ -265,12 +305,32 @@ func NewInstance(art *Artifacts, ar *router.Arena) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The CMP fabric attaches its controllers before any warm state or
+	// core registers, mirroring the construction order the analytic cmp
+	// runner used (its Cores=1 goldens pin the resulting event order).
+	var fab *cmp.Fabric
+	if art.Opt.Cores > 0 {
+		if fab, err = cmp.Attach(sys, art.Opt.Cores); err != nil {
+			return nil, err
+		}
+	}
 	if art.WarmImg != nil {
 		sys.WarmClone(art.WarmImg)
 	} else {
 		sys.Warm(art.Warm)
 	}
-	c := cpu.New(k, sys, art.Prof, art.Accs, art.CPU)
+	var c *cpu.Core
+	var cores []*cpu.Core
+	if fab != nil {
+		cores = make([]*cpu.Core, art.Opt.Cores)
+		for i := range cores {
+			cfg := art.CPU
+			cfg.Seed = cpu.CoreSeed(art.Opt.Seed, i)
+			cores[i] = cpu.New(k, fab.Port(i), art.Prof, art.CoreAccs[i], cfg)
+		}
+	} else {
+		c = cpu.New(k, sys, art.Prof, art.Accs, art.CPU)
+	}
 	// Telemetry is wired after every working component so its sampling
 	// observer registers with the highest component id and ticks last
 	// within a cycle (see sim.Observer).
@@ -278,16 +338,31 @@ func NewInstance(art *Artifacts, ar *router.Arena) (*Instance, error) {
 	if tel != nil {
 		sys.EnableTelemetry(tel)
 	}
-	return &Instance{Art: art, K: k, Sys: sys, C: c, tel: tel}, nil
+	return &Instance{Art: art, K: k, Sys: sys, C: c, Fab: fab, cores: cores, tel: tel}, nil
 }
 
-// Start arms the core's first access. Call exactly once, before stepping
-// the kernel externally; RunToCompletion calls it itself.
-func (in *Instance) Start() { in.C.Start() }
+// Start arms every core's first access. Call exactly once, before
+// stepping the kernel externally; RunToCompletion calls it itself.
+func (in *Instance) Start() {
+	if in.Fab != nil {
+		for _, c := range in.cores {
+			c.Start()
+		}
+		return
+	}
+	in.C.Start()
+}
 
 // RunToCompletion drives the instance to quiescence and assembles the
 // Result — the single-run path Run uses.
 func (in *Instance) RunToCompletion() (Result, error) {
+	if in.Fab != nil {
+		in.Start()
+		if _, idle := in.K.Run(1 << 40); !idle {
+			return Result{}, in.wrapErr(fmt.Errorf("cmp run did not complete"))
+		}
+		return in.FinishIdle()
+	}
 	res, err := in.C.Run(1 << 40)
 	if err != nil {
 		return Result{}, in.wrapErr(err)
@@ -299,6 +374,17 @@ func (in *Instance) RunToCompletion() (Result, error) {
 // kernel idle (the fleet path). It errors — like the single-run path —
 // when the access stream did not complete.
 func (in *Instance) FinishIdle() (Result, error) {
+	if in.Fab != nil {
+		rs := make([]cpu.Result, len(in.cores))
+		for i, c := range in.cores {
+			r, err := c.Result()
+			if err != nil {
+				return Result{}, in.wrapErr(fmt.Errorf("core %d: %w", i, err))
+			}
+			rs[i] = r
+		}
+		return in.finishCMP(rs)
+	}
 	res, err := in.C.Result()
 	if err != nil {
 		return Result{}, in.wrapErr(err)
@@ -309,6 +395,76 @@ func (in *Instance) FinishIdle() (Result, error) {
 func (in *Instance) wrapErr(err error) error {
 	return fmt.Errorf("core: %s/%v/%v/%s: %w",
 		in.Art.Design.ID, in.Art.Opt.Policy, in.Art.Opt.Mode, in.Art.Opt.Benchmark, err)
+}
+
+// finishCMP drains the fabric and assembles the CMP Result: per-core
+// rows from the ports' core-observed accumulators, aggregates over them
+// (IPC and instructions sum, cycles take the slowest core), and the
+// shared cache's protocol-side statistics for the scalar latency fields.
+func (in *Instance) finishCMP(rs []cpu.Result) (Result, error) {
+	opt, d, sys := in.Art.Opt, in.Art.Design, in.Sys
+	if err := sys.Drain(1 << 30); err != nil {
+		return Result{}, err
+	}
+	// Drain checks the primary controller; the fabric's extra controllers
+	// and ports need their own quiescence proof.
+	if p := in.Fab.Pending(); p != 0 {
+		return Result{}, fmt.Errorf("core: %d requests stuck across the CMP fabric after quiescence", p)
+	}
+	in.tel.Finish(in.K.Now())
+
+	bank, net, memShare := sys.Lat.Shares()
+	netStats := sys.Net.Stats()
+	memStats := sys.Memory.Stats()
+	erep := energy.DefaultModel().Estimate(energy.Activity{
+		FlitHops:     netStats.Router.FlitsRouted,
+		BankAccesses: sys.BankAccessesBySize(),
+		MemBlocks:    memStats.Reads + memStats.WriteBacks,
+		Accesses:     uint64(opt.Accesses) * uint64(len(rs)),
+	})
+	res := Result{
+		Options:      opt,
+		Design:       d,
+		PerfectIPC:   in.Art.Prof.PerfectIPC,
+		AvgLatency:   sys.Lat.Avg(),
+		AvgHit:       sys.Lat.AvgHit(),
+		AvgMiss:      sys.Lat.AvgMiss(),
+		AvgOccupancy: sys.Lat.AvgOccupancy(),
+		HitRate:      sys.Lat.HitRate(),
+		MRUHitShare:  sys.Lat.HitWayShare(0),
+		BankShare:    bank,
+		NetworkShare: net,
+		MemShare:     memShare,
+		BankAccesses: sys.BankAccesses(),
+		Network:      netStats,
+		Memory:       memStats,
+		Latency:      sys.Lat.Clone(),
+		Energy:       erep,
+		Telemetry:    in.tel,
+	}
+	for i, cr := range rs {
+		p := in.Fab.Port(i)
+		total := p.RemoteIssues + p.LocalIssues
+		res.Cores = append(res.Cores, CoreResult{
+			Core:         i,
+			IPC:          cr.IPC(),
+			AvgLatency:   p.Lat.Avg(),
+			HitRate:      p.Lat.HitRate(),
+			RemoteShare:  float64(p.RemoteIssues) / float64(total),
+			Instructions: cr.Instructions,
+			Cycles:       cr.Cycles,
+		})
+		res.IPC += cr.IPC()
+		res.Instructions += cr.Instructions
+		if cr.Cycles > res.Cycles {
+			res.Cycles = cr.Cycles
+		}
+	}
+	if sys.Dir != nil {
+		rep := sys.Dir.Report()
+		res.Directory = &rep
+	}
+	return res, nil
 }
 
 // finish drains the system and assembles the Result exactly as the
@@ -329,7 +485,7 @@ func (in *Instance) finish(res cpu.Result) (Result, error) {
 		MemBlocks:    memStats.Reads + memStats.WriteBacks,
 		Accesses:     uint64(opt.Accesses),
 	})
-	return Result{
+	out := Result{
 		Options:      opt,
 		Design:       d,
 		IPC:          res.IPC(),
@@ -351,5 +507,10 @@ func (in *Instance) finish(res cpu.Result) (Result, error) {
 		Latency:      sys.Lat.Clone(),
 		Energy:       erep,
 		Telemetry:    in.tel,
-	}, nil
+	}
+	if sys.Dir != nil {
+		rep := sys.Dir.Report()
+		out.Directory = &rep
+	}
+	return out, nil
 }

@@ -295,6 +295,24 @@ func (rows TelemetryRows) Render(w io.Writer) {
 	}
 }
 
+// Render writes the sharing-contention table and the largest run's
+// link-traffic view (on hierarchical designs that includes the
+// inter-chiplet bridge hops).
+func (r CMPResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%5s %10s %10s %9s %8s %7s %8s %9s\n",
+		"cores", "IPC", "IPC/core", "hit rate", "avg lat", "p99", "remote", "x-evict")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%5d %10.4f %10.4f %8.1f%% %8.1f %7d %7.0f%% %8.0f%%\n",
+			c.Cores, c.IPC, c.PerCoreIPC, 100*c.HitRate, c.AvgLat, c.P99,
+			100*c.RemoteShare, 100*c.CrossDropShare)
+	}
+	if r.Heat != nil && len(r.Cells) > 0 {
+		fmt.Fprintf(w, "\nlink heatmap, %d-core run (bridge-ring hops included):\n",
+			r.Cells[len(r.Cells)-1].Cores)
+		r.Heat.RenderLinks(w, 16)
+	}
+}
+
 func staticTitle(s string) func(ExpConfig) string {
 	return func(ExpConfig) string { return s }
 }
@@ -400,6 +418,18 @@ func init() {
 			}
 			runs, rep, err := TelemetryCompare(cfg, cfg.bench(), tcfg)
 			return TelemetryRows(runs), rep, err
+		},
+	})
+	RegisterExperiment(Experiment{
+		Name: "cmp", About: "sharing-contention sweep: 1-8 cores on the two-chiplet hierarchy (extension: the paper's CMP future work)",
+		Title: func(cfg ExpConfig) string {
+			return "CMP sharing contention: design H2 (mesh chiplets + bridge ring), " +
+				cfg.bench() + ", directory policy, 1-8 cores"
+		},
+		InAll: false, // CMP fabric study; runs when named
+		Run: func(cfg ExpConfig) (Rows, SweepReport, error) {
+			res, rep, err := CMPSharing(cfg, "H2", cfg.bench())
+			return res, rep, err
 		},
 	})
 }

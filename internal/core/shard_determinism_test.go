@@ -43,7 +43,9 @@ func TestShardedRunMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		accesses = 120
 	}
-	for _, id := range []string{"A", "D", "F", "R"} {
+	// One representative per topology family, including the two-chiplet
+	// hierarchical fabric (H2), whose bridge-ring links cross shard cuts.
+	for _, id := range []string{"A", "D", "F", "R", "H2"} {
 		for _, engine := range router.Names() {
 			id, engine := id, engine
 			t.Run(fmt.Sprintf("%s/%s", id, engine), func(t *testing.T) {

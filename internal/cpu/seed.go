@@ -1,0 +1,20 @@
+package cpu
+
+// CoreSeed derives core i's seed from a root seed. Core 0 keeps the root
+// unchanged, so every existing single-core golden — which seeded its one
+// core with the root directly — reproduces bit-for-bit. Higher cores mix
+// the index through a splitmix64 finalizer: a plain `root ^ i*prime`
+// keeps the low bits of nearby cores correlated (the generators consume
+// seeds bit by bit), whereas the finalizer's avalanche makes every
+// derived stream statistically independent of its neighbors.
+func CoreSeed(root uint64, core int) uint64 {
+	if core == 0 {
+		return root
+	}
+	z := root + uint64(core)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,46 @@
+package cpu
+
+import "testing"
+
+// TestCoreSeedZeroIsRoot pins the compatibility contract every
+// single-core golden in the repo depends on: core 0's seed — and hence
+// its trace and RNG streams — is exactly the root seed.
+func TestCoreSeedZeroIsRoot(t *testing.T) {
+	for _, root := range []uint64{0, 1, 7, 42, 1 << 40, ^uint64(0)} {
+		if got := CoreSeed(root, 0); got != root {
+			t.Fatalf("CoreSeed(%d, 0) = %d, want the root unchanged", root, got)
+		}
+	}
+}
+
+// TestCoreSeedDistinct checks the derived seeds collide neither with each
+// other nor across nearby roots — the failure mode of the weaker
+// root^(i*prime) derivation this replaced.
+func TestCoreSeedDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for root := uint64(40); root < 48; root++ {
+		for core := 0; core < 16; core++ {
+			s := CoreSeed(root, core)
+			key := string(rune(root)) + "/" + string(rune(core))
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (root,core) %s and %s both derive %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+// TestCoreSeedAvalanche: adjacent cores must differ in roughly half
+// their seed bits, not just a few low ones.
+func TestCoreSeedAvalanche(t *testing.T) {
+	for core := 1; core < 8; core++ {
+		x := CoreSeed(42, core) ^ CoreSeed(42, core+1)
+		bits := 0
+		for ; x != 0; x &= x - 1 {
+			bits++
+		}
+		if bits < 16 {
+			t.Fatalf("cores %d/%d differ in only %d seed bits", core, core+1, bits)
+		}
+	}
+}

@@ -59,6 +59,14 @@ type Config struct {
 	Policy string
 	Mode   string
 
+	// Cores > 0 scores every candidate as a full-system CMP run: N
+	// trace-driven cores share each candidate's fabric, the benchmark
+	// score is the geometric mean over the per-core IPCs (so a placement
+	// that starves one core scores below one that shares fairly), and the
+	// search starts from the Design A mesh instead of the halo — radial
+	// candidates cannot host a core grid and are gated out as unsafe.
+	Cores int
+
 	// InitTemp and Cool shape the annealing schedule: acceptance
 	// temperature starts at InitTemp (as a fraction of the current
 	// score) and multiplies by Cool each wave (defaults 0.02, 0.85).
@@ -122,7 +130,8 @@ type Result struct {
 	// with it.
 	Best Candidate
 	// BestScore and BaselineScore are confirmation-length geomean IPCs;
-	// Baseline is the Design F halo the search starts from.
+	// Baseline is the search's starting point (the Design F halo, or the
+	// Design A mesh when Cores > 0).
 	BestScore, BaselineScore float64
 	BestArea, BaselineArea   area.Report
 
@@ -158,6 +167,12 @@ func Search(cfg Config) (*Result, error) {
 
 	model := area.DefaultModel()
 	baseline := Seed().Canon()
+	if cfg.Cores > 0 {
+		baseline = SeedCMP().Canon()
+		if err := baseline.HostsCores(cfg.Cores); err != nil {
+			return nil, fmt.Errorf("place: cores=%d: %w", cfg.Cores, err)
+		}
+	}
 	baseRep, err := model.Analyze(baseline.Design())
 	if err != nil {
 		return nil, fmt.Errorf("place: baseline area: %w", err)
@@ -208,6 +223,10 @@ func Search(cfg Config) (*Result, error) {
 				continue // already screened in an earlier wave
 			}
 			if err := n.Verify(); err != nil {
+				res.RejectedUnsafe++
+				continue
+			}
+			if err := n.HostsCores(cfg.Cores); err != nil {
 				res.RejectedUnsafe++
 				continue
 			}
@@ -301,6 +320,7 @@ func (res *Result) score(cands []Candidate, accesses int, policy cache.Policy, m
 			opt.Accesses = accesses
 			opt.Seed = 42
 			opt.Shards = cfg.Shards
+			opt.Cores = cfg.Cores
 			opts = append(opts, opt)
 		}
 	}
@@ -329,7 +349,20 @@ func (res *Result) score(cands []Candidate, accesses int, policy cache.Policy, m
 	for i, c := range cands {
 		logSum := 0.0
 		for j := range cfg.Benchmarks {
-			logSum += math.Log(results[i*len(cfg.Benchmarks)+j].IPC)
+			r := results[i*len(cfg.Benchmarks)+j]
+			ipc := r.IPC
+			if len(r.Cores) > 0 {
+				// Multi-core screening: the benchmark's score is the geomean
+				// over per-core IPCs, not the aggregate — unfair sharing
+				// (one starved core) drags the geomean down even when the
+				// sum looks healthy.
+				cl := 0.0
+				for _, cr := range r.Cores {
+					cl += math.Log(cr.IPC)
+				}
+				ipc = math.Exp(cl / float64(len(r.Cores)))
+			}
+			logSum += math.Log(ipc)
 		}
 		rep, err := model.Analyze(designs[i])
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"nucanet/internal/bank"
+	"nucanet/internal/cmp"
 	"nucanet/internal/config"
 	"nucanet/internal/network"
 	"nucanet/internal/router"
@@ -204,6 +205,33 @@ func (c Candidate) Verify() error {
 // the paper's winner.
 func Seed() Candidate {
 	return Candidate{Family: "halo", Stack: []int{1, 1, 2, 4, 8}}
+}
+
+// SeedCMP is the starting point of a multi-core search: the full mesh of
+// Design A, the best grid design in Table 3. Halos cannot host a CMP
+// fabric (a single hub would serve every core), so a Cores > 0 search
+// starts — and stays — inside the grid families.
+func SeedCMP() Candidate {
+	stack := make([]int, waysTotal)
+	for i := range stack {
+		stack[i] = 1
+	}
+	return Candidate{Family: "mesh", Stack: stack, CoreX: 7, MemX: 8}
+}
+
+// HostsCores reports whether the candidate's topology can host an n-core
+// CMP fabric (see cmp.SupportsHost); nil when n is 0 (classic run) or
+// the grid fits.
+func (c Candidate) HostsCores(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	d := c.Design()
+	topo, err := d.Build()
+	if err != nil {
+		return err
+	}
+	return cmp.SupportsHost(topo, d.ID, n)
 }
 
 // Mutate returns a neighbor of c drawn with rng: split a bank into two

@@ -64,7 +64,7 @@ func (r Rows) Render(w io.Writer) {
 		}
 		fmt.Fprintf(w, " %s %-44s ipc %.4f  area %6.2f mm2\n", mark, s.Candidate, s.Score, s.AreaMM2)
 	}
-	fmt.Fprintf(w, "best %s: ipc %.4f vs baseline halo %.4f (%+.2f%%), area %.2f vs %.2f mm2\n",
+	fmt.Fprintf(w, "best %s: ipc %.4f vs baseline %.4f (%+.2f%%), area %.2f vs %.2f mm2\n",
 		res.Best, res.BestScore, res.BaselineScore,
 		100*(res.BestScore/res.BaselineScore-1),
 		res.BestArea.L2MM2(), res.BaselineArea.L2MM2())

@@ -140,3 +140,72 @@ func TestSearchDeterministicAndSound(t *testing.T) {
 		t.Errorf("screened %d candidates over the %d budget", r1.Screened, cfg.Budget)
 	}
 }
+
+// TestSearchWithCoresScreensCMP pins the multi-core screening path: a
+// Cores > 0 search starts from the Design A mesh, scores candidates as
+// CMP runs through the fleet, stays deterministic, and never graduates a
+// radial candidate (halos cannot host a core grid).
+func TestSearchWithCoresScreensCMP(t *testing.T) {
+	cfg := Config{
+		Seed: 5, Budget: 5, Wave: 3,
+		ScreenAccesses: 60, ConfirmAccesses: 120,
+		Benchmarks: []string{"gcc"}, Workers: 2,
+		Cores: 2,
+	}
+	run := func() *Result {
+		res, err := Search(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if r1.Best.Hash() != r2.Best.Hash() || r1.BestScore != r2.BestScore || r1.Screened != r2.Screened {
+		t.Errorf("cores=2 search not deterministic: (%s %.6f n=%d) vs (%s %.6f n=%d)",
+			r1.Best, r1.BestScore, r1.Screened, r2.Best, r2.BestScore, r2.Screened)
+	}
+	for _, s := range r1.Confirmed {
+		if s.Candidate.Family == "halo" {
+			t.Errorf("radial candidate %s survived a cores=2 search", s.Candidate)
+		}
+		if err := s.Candidate.HostsCores(cfg.Cores); err != nil {
+			t.Errorf("confirmed candidate %s cannot host %d cores: %v", s.Candidate, cfg.Cores, err)
+		}
+	}
+	if r1.BestScore < r1.BaselineScore {
+		t.Errorf("best %.6f below the seeded baseline %.6f", r1.BestScore, r1.BaselineScore)
+	}
+	// The single-core and 2-core searches answer different questions:
+	// the per-core score under sharing must sit below the solo score.
+	solo := Config{
+		Seed: 5, Budget: 5, Wave: 3,
+		ScreenAccesses: 60, ConfirmAccesses: 120,
+		Benchmarks: []string{"gcc"}, Workers: 2,
+	}
+	rs, err := Search(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BestScore >= rs.BestScore {
+		t.Errorf("per-core IPC under 2-way sharing (%.6f) not below solo IPC (%.6f)",
+			r1.BestScore, rs.BestScore)
+	}
+}
+
+// TestHostsCores pins the gate itself: grids host up to their width,
+// halos never do.
+func TestHostsCores(t *testing.T) {
+	mesh := SeedCMP()
+	if err := mesh.HostsCores(4); err != nil {
+		t.Errorf("mesh rejects 4 cores: %v", err)
+	}
+	if err := mesh.HostsCores(Columns + 1); err == nil {
+		t.Error("mesh accepted more cores than columns")
+	}
+	if err := Seed().HostsCores(2); err == nil {
+		t.Error("halo accepted a CMP fabric")
+	}
+	if err := Seed().HostsCores(0); err != nil {
+		t.Errorf("cores=0 must always pass: %v", err)
+	}
+}

@@ -15,13 +15,13 @@ import (
 
 // TestVerifyAllCatalogueDesigns re-derives the paper's deadlock-freedom
 // arguments as verifier runs: every design the repo ships — Table 3's
-// A-F plus the extra registered families (ring R, concentrated mesh G)
-// — must pass the static channel-dependence check with its default
-// routing algorithm.
+// A-F plus the extra registered families (ring R, concentrated mesh G,
+// hierarchical H2) — must pass the static channel-dependence check with
+// its default routing algorithm.
 func TestVerifyAllCatalogueDesigns(t *testing.T) {
 	designs := append(config.Designs(), config.ExtraDesigns()...)
-	if len(designs) != 8 {
-		t.Fatalf("catalogue has %d designs, want 8 (A-F, R, G)", len(designs))
+	if len(designs) != 9 {
+		t.Fatalf("catalogue has %d designs, want 9 (A-F, R, G, H2)", len(designs))
 	}
 	for _, d := range designs {
 		d := d

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// cmpReq is a small CMP run on the two-chiplet hierarchical design under
+// the directory policy — the full-system configuration the CMP
+// experiment sweeps, shrunk to test size.
+const cmpReq = `{"design":"H2","policy":"directory","benchmark":"gcc","accesses":300,"seed":7,"cores":4}`
+
+// TestServeCMPRun pins the serving layer's CMP path end to end: a
+// multi-core directory run on the hierarchical design executes, returns
+// per-core rows and the ownership report, and the warm replay is a
+// byte-identical cache hit (the content address sees Cores).
+func TestServeCMPRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, cold := postRun(t, ts, cmpReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", resp.StatusCode, cold)
+	}
+	if got := resp.Header.Get("X-Nucad-Cache"); got != "miss" {
+		t.Fatalf("cold: X-Nucad-Cache = %q, want miss", got)
+	}
+
+	var rr RunResponse
+	if err := json.Unmarshal(cold, &rr); err != nil {
+		t.Fatalf("body is not a RunResponse: %v", err)
+	}
+	if rr.Design != "H2" || rr.Cores != 4 || len(rr.PerCore) != 4 {
+		t.Fatalf("CMP identity wrong: design=%q cores=%d per_core=%d", rr.Design, rr.Cores, len(rr.PerCore))
+	}
+	var remote float64
+	for i, c := range rr.PerCore {
+		if c.Core != i || c.IPC <= 0 || c.Cycles <= 0 {
+			t.Fatalf("implausible per-core row %d: %+v", i, c)
+		}
+		remote += c.RemoteShare
+	}
+	if remote == 0 {
+		t.Fatal("4 cores on H2 produced no remote traffic; the fabric is not being shared")
+	}
+	if rr.Directory == nil {
+		t.Fatal("directory policy ran but no ownership report in response")
+	}
+	if len(rr.Directory.Owners) != 4 {
+		t.Fatalf("directory owners = %d, want 4", len(rr.Directory.Owners))
+	}
+
+	// The same run a second time must be a warm cache hit serving the
+	// identical bytes.
+	resp, warm := postRun(t, ts, cmpReq)
+	if got := resp.Header.Get("X-Nucad-Cache"); got != "hit" {
+		t.Fatalf("warm: X-Nucad-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cold and warm CMP bodies differ:\ncold: %s\nwarm: %s", cold, warm)
+	}
+
+	// A different core count is a different configuration: it must miss
+	// the cache and carry a different content address.
+	resp, other := postRun(t, ts, strings.Replace(cmpReq, `"cores":4`, `"cores":2`, 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cores=2: status %d: %s", resp.StatusCode, other)
+	}
+	if got := resp.Header.Get("X-Nucad-Cache"); got != "miss" {
+		t.Fatalf("cores=2: X-Nucad-Cache = %q, want miss (Cores must be part of the key)", got)
+	}
+	var rr2 RunResponse
+	if err := json.Unmarshal(other, &rr2); err != nil {
+		t.Fatal(err)
+	}
+	if rr2.ConfigHash == rr.ConfigHash {
+		t.Fatal("cores=2 and cores=4 share a config hash")
+	}
+}
+
+// TestServeCMPRejectsBadCores pins the field-scoped 400s of the cores
+// field: negative counts, radial designs, and counts past the grid
+// width.
+func TestServeCMPRejectsBadCores(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"negative", `{"cores":-1}`},
+		{"radial design", `{"design":"E","cores":2}`},
+		{"past grid width", `{"design":"A","cores":200}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, b := postRun(t, ts, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, b)
+			}
+			var ae struct {
+				Error struct {
+					Field string `json:"field"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(b, &ae); err != nil {
+				t.Fatalf("error body is not structured: %v: %s", err, b)
+			}
+			if ae.Error.Field != "cores" {
+				t.Fatalf("error field = %q, want cores: %s", ae.Error.Field, b)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"nucanet/internal/cache"
+	"nucanet/internal/cmp"
 	"nucanet/internal/config"
 	"nucanet/internal/core"
 	"nucanet/internal/router"
@@ -17,13 +18,17 @@ import (
 // RunRequest is the POST /v1/run body. Every field is optional; the
 // zero request runs the baseline configuration (core.DefaultOptions).
 type RunRequest struct {
-	Design    string            `json:"design,omitempty"`
-	Policy    string            `json:"policy,omitempty"`
-	Mode      string            `json:"mode,omitempty"`
-	Router    string            `json:"router,omitempty"`
-	Benchmark string            `json:"benchmark,omitempty"`
-	Accesses  int               `json:"accesses,omitempty"`
-	Seed      *uint64           `json:"seed,omitempty"`
+	Design    string  `json:"design,omitempty"`
+	Policy    string  `json:"policy,omitempty"`
+	Mode      string  `json:"mode,omitempty"`
+	Router    string  `json:"router,omitempty"`
+	Benchmark string  `json:"benchmark,omitempty"`
+	Accesses  int     `json:"accesses,omitempty"`
+	Seed      *uint64 `json:"seed,omitempty"`
+	// Cores switches the run to full-system CMP mode (core.Options.Cores):
+	// N trace-driven cores sharing the fabric. 0 is the classic
+	// single-core run.
+	Cores     int               `json:"cores,omitempty"`
 	Telemetry *TelemetryRequest `json:"telemetry,omitempty"`
 }
 
@@ -99,6 +104,22 @@ func (r RunRequest) options(maxAccesses int) (core.Options, *apiError) {
 	if r.Seed != nil {
 		o.Seed = *r.Seed
 	}
+	if r.Cores != 0 {
+		if r.Cores < 0 {
+			return o, badField("cores", "cores must be non-negative, got %d", r.Cores)
+		}
+		// The grid-hosting constraint is design-dependent; rebuild the
+		// (cheap, structural) topology to check it here so the rejection
+		// stays a field-scoped 400 instead of a run failure.
+		d, _ := config.DesignByID(o.DesignID)
+		if topo, err := d.Build(); err == nil {
+			if err := cmp.SupportsHost(topo, d.ID, r.Cores); err != nil {
+				return o, badField("cores", "design %q cannot host %d cores: a CMP run needs a full router grid with width >= cores",
+					o.DesignID, r.Cores)
+			}
+		}
+		o.Cores = r.Cores
+	}
 	if r.Telemetry != nil {
 		if r.Telemetry.SampleEvery < 0 {
 			return o, badField("telemetry.sample_every", "sample_every must be >= 0, got %d", r.Telemetry.SampleEvery)
@@ -158,7 +179,42 @@ type RunResponse struct {
 	EnergyPJ          float64 `json:"energy_pj"`
 	EnergyPerAccessNJ float64 `json:"energy_per_access_nj"`
 
+	// Cores echoes the CMP core count (0 on classic runs); PerCore holds
+	// the per-core outcomes of a CMP run, and Directory the ownership
+	// summary when the directory policy ran. All slices, no maps, so
+	// bodies stay byte-deterministic.
+	Cores     int                `json:"cores,omitempty"`
+	PerCore   []CoreResponse     `json:"per_core,omitempty"`
+	Directory *DirectoryResponse `json:"directory,omitempty"`
+
 	Telemetry *TelemetryResponse `json:"telemetry,omitempty"`
+}
+
+// CoreResponse is one CMP core's outcome in a RunResponse.
+type CoreResponse struct {
+	Core        int     `json:"core"`
+	IPC         float64 `json:"ipc"`
+	AvgLatency  float64 `json:"avg_latency"`
+	HitRate     float64 `json:"hit_rate"`
+	RemoteShare float64 `json:"remote_share"`
+	Cycles      int64   `json:"cycles"`
+}
+
+// DirectoryResponse condenses the directory policy's ownership report:
+// per-owner rows ascending plus the eviction split.
+type DirectoryResponse struct {
+	Owners     []DirectoryOwner `json:"owners"`
+	SelfDrops  int64            `json:"self_drops"`
+	CrossDrops int64            `json:"cross_drops"`
+}
+
+// DirectoryOwner is one owner's row of the directory report.
+type DirectoryOwner struct {
+	Owner uint64 `json:"owner"`
+	Live  int64  `json:"live"`
+	Fills int64  `json:"fills"`
+	Hits  int64  `json:"hits"`
+	Drops int64  `json:"drops"`
 }
 
 // TelemetryResponse embeds the probe artifacts a request asked for.
@@ -214,6 +270,24 @@ func buildResponse(key string, res core.Result) ([]byte, error) {
 		resp.P50 = res.Latency.Percentile(0.50)
 		resp.P90 = res.Latency.Percentile(0.90)
 		resp.P99 = res.Latency.Percentile(0.99)
+	}
+	if len(res.Cores) > 0 {
+		resp.Cores = res.Options.Cores
+		for _, c := range res.Cores {
+			resp.PerCore = append(resp.PerCore, CoreResponse{
+				Core: c.Core, IPC: c.IPC, AvgLatency: c.AvgLatency,
+				HitRate: c.HitRate, RemoteShare: c.RemoteShare, Cycles: c.Cycles,
+			})
+		}
+	}
+	if d := res.Directory; d != nil {
+		dr := &DirectoryResponse{SelfDrops: d.SelfDrops, CrossDrops: d.CrossDrops}
+		for _, o := range d.Owners {
+			dr.Owners = append(dr.Owners, DirectoryOwner{
+				Owner: o, Live: d.Live[o], Fills: d.Fills[o], Hits: d.Hits[o], Drops: d.Drops[o],
+			})
+		}
+		resp.Directory = dr
 	}
 	if tel := res.Telemetry; tel != nil {
 		tr := &TelemetryResponse{}

@@ -32,6 +32,10 @@ type Params struct {
 	// Concentration is how many consecutive column positions one router
 	// hosts (concentrated meshes; 0/1 elsewhere).
 	Concentration int
+	// Chiplets splits a hierarchical topology into this many W/Chiplets-
+	// column chiplet meshes stitched by an inter-chiplet bridge ring
+	// (hierarchical topologies; 0 elsewhere).
+	Chiplets int
 }
 
 // BuilderFunc constructs one topology family from its parameters.
